@@ -1,0 +1,5 @@
+package main
+
+import "repro/internal/tensor"
+
+func matOf(r, c int, data []float32) *tensor.Mat { return tensor.FromSlice(r, c, data) }

@@ -1,0 +1,50 @@
+// Command bishop runs the paper-reproduction experiments: one table/figure
+// per invocation, or everything with -exp all.
+//
+// Usage:
+//
+//	bishop -exp fig12            # end-to-end latency comparison
+//	bishop -exp all -quick       # every experiment, bounded training budgets
+//	bishop -list                 # enumerate experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
+	quick := flag.Bool("quick", false, "bound training-based experiments for fast runs")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.FigList(), "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: bishop -exp <id>|all [-quick] [-seed N]; bishop -list")
+		os.Exit(2)
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.FigList()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := experiments.Run(id, *quick, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

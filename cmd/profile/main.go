@@ -1,0 +1,36 @@
+// Command profile prints the §2.2 workload analysis for the Table 2 model
+// zoo: analytic FLOP breakdowns and the spike-driven operation counts of a
+// synthetic activity trace (showing what firing sparsity saves).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/profiler"
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "trace seed")
+	flag.Parse()
+
+	fmt.Println("Analytic FLOPs breakdown (dense equivalents, §2.2):")
+	for _, cfg := range transformer.ModelZoo() {
+		b := profiler.Profile(cfg)
+		fmt.Printf("  %-22s total %8.2f GFLOP  attn %5.1f%%  mlp %5.1f%%  proj %5.1f%%  attn+mlp %5.1f%%\n",
+			cfg.Name, b.Total()/1e9, 100*b.Attention/b.Total(),
+			100*b.MLP/b.Total(), 100*b.Projection/b.Total(), 100*b.AttnMLPShare())
+	}
+
+	fmt.Println("\nSpike-driven operation counts (synthetic activity traces):")
+	scs := workload.Scenarios()
+	for i, cfg := range transformer.ModelZoo() {
+		tr := workload.SyntheticTrace(cfg, scs[i+1], workload.TraceOptions{}, *seed)
+		ops := profiler.OpsFromTrace(tr)
+		dense := profiler.Profile(cfg)
+		fmt.Printf("  %-22s %8.2f GOp (%.1f%% of dense FLOPs)\n",
+			cfg.Name, ops.Total()/1e9, 100*ops.Total()/dense.Total())
+	}
+}

@@ -1,0 +1,57 @@
+// cifar_pipeline reproduces the paper's end-to-end HW/SW co-design flow on
+// the CIFAR10-like task: train a spiking transformer three ways (baseline,
+// +BSA, +BSA+ECP-aware), then compare accuracy and simulated Bishop
+// latency/energy — the software side of Fig. 12/13's variant columns.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/bundle"
+	"repro/internal/dataset"
+	"repro/internal/snn"
+	"repro/internal/train"
+	"repro/internal/transformer"
+)
+
+func buildModel(seed uint64, ds *dataset.Dataset) *transformer.Model {
+	cfg := transformer.Config{Name: "cifar-tiny", Blocks: 2, T: 4, N: ds.N,
+		D: 32, Heads: 4, MLPRatio: 2, PatchDim: ds.PatchD, Classes: ds.Classes,
+		LIF: snn.DefaultLIF()}
+	return transformer.NewModel(cfg, seed)
+}
+
+func main() {
+	ds := dataset.CIFAR10Like(160, 80, 11)
+	sh := bundle.Shape{BSt: 2, BSn: 2}
+
+	type variant struct {
+		name  string
+		bsa   *transformer.BSAConfig
+		theta int
+	}
+	variants := []variant{
+		{name: "baseline"},
+		{name: "+BSA", bsa: &transformer.BSAConfig{Lambda: 0.0004, Shape: sh, Structured: true}},
+		{name: "+BSA+ECP", bsa: &transformer.BSAConfig{Lambda: 0.0004, Shape: sh, Structured: true}, theta: 2},
+	}
+	fmt.Println("variant    accuracy  density  Bishop-lat(us)  Bishop-energy(uJ)")
+	for _, v := range variants {
+		m := buildModel(11, ds)
+		m.BSA = v.bsa
+		if v.theta > 0 {
+			ecp := bundle.ECPConfig{Shape: sh, ThetaQ: v.theta, ThetaK: v.theta}
+			m.Prune = ecp.PruneFn(nil)
+		}
+		tr := &train.Trainer{Model: m, Opt: train.NewAdamW(0.002, 1e-4), ClipL2: 5}
+		acc := tr.Run(ds, 6)
+		den := tr.MeanSpikeDensity(ds)
+
+		// Simulate the trained model's trace on Bishop.
+		m.Forward(ds.Test[0].X)
+		rep := accel.Simulate(m.Trace(), accel.DefaultOptions())
+		fmt.Printf("%-10s %.3f     %.4f   %-15.1f %.3f\n",
+			v.name, acc, den, rep.LatencyMS()*1e3, rep.EnergyMJ()*1e3)
+	}
+}

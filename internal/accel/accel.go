@@ -1,0 +1,147 @@
+// Package accel is the top-level Bishop accelerator simulator (Fig. 9): it
+// walks an activation trace layer by layer, runs the stratifier on every
+// MLP/projection workload, dispatches the dense and sparse partitions onto
+// the heterogeneous cores concurrently, routes SSA layers (optionally under
+// ECP) to the TT-Bundle attention core, and accounts the spike generator and
+// memory system — producing per-layer and end-to-end latency/energy reports.
+package accel
+
+import (
+	"repro/internal/bundle"
+	"repro/internal/hw"
+	"repro/internal/hw/attention"
+	"repro/internal/hw/dense"
+	"repro/internal/hw/sparse"
+	"repro/internal/hw/spikegen"
+	"repro/internal/transformer"
+)
+
+// Options selects the architectural and algorithmic features active in a
+// simulation run — the knobs the paper ablates.
+type Options struct {
+	Tech  hw.Tech
+	Array hw.ArrayConfig
+	Shape bundle.Shape // TTB volume (DefaultShape if zero)
+
+	// Stratify enables the heterogeneous dense+sparse dispatch of Alg. 1.
+	// When false, every MLP/projection layer runs on the dense core alone
+	// (the §6.4 homogeneity ablation).
+	Stratify bool
+	// ThetaS is the explicit stratification threshold. When negative, the
+	// per-layer balancing strategy of §6.5.1 is used with SplitTarget.
+	ThetaS int
+	// SplitTarget is the dense-core feature fraction targeted by the
+	// balancing strategy (0 → default 0.5).
+	SplitTarget float64
+
+	// ECP, when non-nil, prunes attention workloads whose trace carries no
+	// precomputed keep-masks.
+	ECP *bundle.ECPConfig
+}
+
+// DefaultOptions returns the full-featured Bishop configuration.
+func DefaultOptions() Options {
+	return Options{
+		Tech:     hw.Default28nm(),
+		Array:    hw.BishopArray(),
+		Shape:    bundle.DefaultShape,
+		Stratify: true,
+		ThetaS:   -1,
+	}
+}
+
+func (o *Options) normalize() {
+	if o.Tech.ClockHz == 0 {
+		o.Tech = hw.Default28nm()
+	}
+	if o.Array.DensePEs == 0 {
+		o.Array = hw.BishopArray()
+	}
+	if o.Shape.BSt == 0 {
+		o.Shape = bundle.DefaultShape
+	}
+	if o.SplitTarget == 0 {
+		o.SplitTarget = 0.5
+	}
+}
+
+// Simulate runs the trace through the Bishop model and returns the report.
+func Simulate(tr *transformer.Trace, opt Options) *hw.Report {
+	opt.normalize()
+	rep := &hw.Report{Name: "Bishop", Tech: opt.Tech}
+	for _, l := range tr.Layers {
+		switch l.Kind {
+		case transformer.KindProjection, transformer.KindMLP:
+			rep.Layers = append(rep.Layers, simulateLinear(l, opt))
+		case transformer.KindAttention:
+			rep.Layers = append(rep.Layers, simulateAttention(l, opt))
+		default:
+			// Tokenizer: profiled but not a target of the accelerator
+			// (§2.2); prior spiking-CNN accelerators handle it.
+		}
+	}
+	for i := range rep.Layers {
+		rep.Layers[i].Result.ChargeDRAMBackground(opt.Tech)
+		rep.Total.Add(rep.Layers[i].Result)
+	}
+	return rep
+}
+
+func simulateLinear(l transformer.TraceLayer, opt Options) hw.LayerReport {
+	st := hw.NewLinearStats(l.In, l.DOut, opt.Shape)
+	out := hw.LayerReport{Block: l.Block, Group: l.Group, Name: l.Name}
+
+	var r hw.Result
+	if opt.Stratify {
+		tg := bundle.Tag(l.In, opt.Shape)
+		var res bundle.StratifyResult
+		if opt.ThetaS >= 0 {
+			res = bundle.Stratify(tg, opt.ThetaS)
+		} else {
+			res = bundle.StratifyForSplit(tg, opt.SplitTarget)
+		}
+		dSt, sSt := st.Split(res)
+		// The two cores process their partitions concurrently; the layer
+		// completes when both have (latency = max), then the spike
+		// generator merges partial sums.
+		dr := dense.Simulate(opt.Tech, opt.Array, dSt)
+		sr := sparse.Simulate(opt.Tech, opt.Array, sSt)
+		dr.ChargeStatic(opt.Tech, hw.PowerOf("TTB dense core"))
+		sr.ChargeStatic(opt.Tech, hw.PowerOf("TTB sparse core"))
+		out.Dense, out.Sparse = dr, sr
+		r = dr
+		r.Parallel(sr)
+		// Stratifier: one tag comparison per feature, 32 lanes.
+		r.Cycles += hw.CeilDiv(int64(st.DIn), 32)
+		r.Add(spikeGen(opt, int64(st.T)*int64(st.N)*int64(st.DOut), true))
+		out.Core = "dense+sparse"
+	} else {
+		dr := dense.Simulate(opt.Tech, opt.Array, st)
+		dr.ChargeStatic(opt.Tech, hw.PowerOf("TTB dense core"))
+		out.Dense = dr
+		r = dr
+		r.Add(spikeGen(opt, int64(st.T)*int64(st.N)*int64(st.DOut), false))
+		out.Core = "dense"
+	}
+	out.Result = r
+	return out
+}
+
+func simulateAttention(l transformer.TraceLayer, opt Options) hw.LayerReport {
+	if opt.ECP != nil && l.QKeep == nil {
+		qm, km, _ := opt.ECP.Prune(l.Q, l.K)
+		l.QKeep, l.KKeep = qm, km
+	}
+	st := hw.NewAttnStats(l, opt.Shape)
+	r := attention.Simulate(opt.Tech, opt.Array, st)
+	r.ChargeStatic(opt.Tech, hw.PowerOf("TTB attention core"))
+	r.Add(spikeGen(opt, int64(st.T)*int64(st.N)*int64(st.D), false))
+	return hw.LayerReport{Block: l.Block, Group: l.Group, Name: l.Name,
+		Core: "attention", Result: r}
+}
+
+func spikeGen(opt Options, neurons int64, merge bool) hw.Result {
+	r := spikegen.Simulate(opt.Tech, opt.Array, neurons, merge)
+	r.ChargeStatic(opt.Tech, hw.PowerOf("Spike generator"))
+	return r
+}

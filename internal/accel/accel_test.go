@@ -1,0 +1,122 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/tensor"
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+func trace(model int, bsa bool, seed uint64) *transformer.Trace {
+	cfg := transformer.ModelZoo()[model-1]
+	return workload.SyntheticTrace(cfg, workload.Scenarios()[model],
+		workload.TraceOptions{BSA: bsa}, seed)
+}
+
+func TestSimulateProducesAllLayers(t *testing.T) {
+	tr := trace(4, false, 1)
+	rep := Simulate(tr, DefaultOptions())
+	if len(rep.Layers) != len(tr.Layers) {
+		t.Fatalf("layers %d want %d", len(rep.Layers), len(tr.Layers))
+	}
+	if rep.Total.Cycles <= 0 || rep.Total.EnergyPJ() <= 0 {
+		t.Fatalf("degenerate total %+v", rep.Total)
+	}
+	for _, l := range rep.Layers {
+		if l.Result.Cycles <= 0 {
+			t.Fatalf("layer %s has no cycles", l.Name)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Simulate(trace(4, false, 2), DefaultOptions())
+	b := Simulate(trace(4, false, 2), DefaultOptions())
+	if a.Total != b.Total {
+		t.Fatal("simulation must be deterministic")
+	}
+}
+
+func TestBSATraceIsCheaper(t *testing.T) {
+	base := Simulate(trace(1, false, 3), DefaultOptions())
+	bsa := Simulate(trace(1, true, 3), DefaultOptions())
+	if bsa.Total.Cycles >= base.Total.Cycles {
+		t.Fatalf("BSA trace must be faster: %d vs %d", bsa.Total.Cycles, base.Total.Cycles)
+	}
+	if bsa.EnergyMJ() >= base.EnergyMJ() {
+		t.Fatal("BSA trace must use less energy")
+	}
+}
+
+func TestECPReducesAttentionCost(t *testing.T) {
+	tr := trace(3, false, 4)
+	base := Simulate(tr, DefaultOptions())
+	opt := DefaultOptions()
+	opt.ECP = &bundle.ECPConfig{Shape: opt.Shape, ThetaQ: 6, ThetaK: 6}
+	pruned := Simulate(tr, opt)
+	bAtn, pAtn := base.AttentionTotal(), pruned.AttentionTotal()
+	if pAtn.Cycles >= bAtn.Cycles {
+		t.Fatalf("ECP must cut attention cycles: %d vs %d", pAtn.Cycles, bAtn.Cycles)
+	}
+	// Non-attention layers are untouched.
+	if pruned.Total.Cycles-pAtn.Cycles != base.Total.Cycles-bAtn.Cycles {
+		t.Fatal("ECP must not affect non-attention layers")
+	}
+}
+
+func TestHeterogeneityHelps(t *testing.T) {
+	// §6.4: stratified dense+sparse beats dense-only on mixed workloads.
+	tr := trace(3, false, 5)
+	het := Simulate(tr, DefaultOptions())
+	opt := DefaultOptions()
+	opt.Stratify = false
+	homo := Simulate(tr, opt)
+	if het.Total.Cycles >= homo.Total.Cycles {
+		t.Fatalf("heterogeneous %d should beat homogeneous %d", het.Total.Cycles, homo.Total.Cycles)
+	}
+}
+
+func TestExplicitThetaRoutesEverything(t *testing.T) {
+	tr := trace(4, false, 6)
+	// θ=-1: everything dense (threshold below any count).
+	opt := DefaultOptions()
+	opt.ThetaS = 0 // only features with >0 active bundles go dense
+	rep := Simulate(tr, opt)
+	if rep.Total.Cycles <= 0 {
+		t.Fatal("explicit theta run failed")
+	}
+	for _, l := range rep.Layers {
+		if l.Group != "ATN" && l.Core != "dense+sparse" {
+			t.Fatalf("layer %s core %q", l.Name, l.Core)
+		}
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	var opt Options // zero value
+	rep := Simulate(trace(4, false, 7), opt)
+	if rep.Total.Cycles <= 0 {
+		t.Fatal("zero-value options must normalize to defaults")
+	}
+}
+
+func TestTraceFromRealModel(t *testing.T) {
+	// The simulator must accept traces produced by an actual model forward
+	// pass, not only synthetic ones.
+	cfg := transformer.Config{Name: "real", Blocks: 2, T: 3, N: 8, D: 16,
+		Heads: 4, MLPRatio: 2, PatchDim: 12, Classes: 5}
+	cfg.LIF.Vth, cfg.LIF.Leak, cfg.LIF.SurrWidth = 1, 0.0625, 1
+	m := transformer.NewModel(cfg, 8)
+	x := make([]float32, 8*12)
+	for i := range x {
+		x[i] = float32(i%5) - 2
+	}
+	xm := tensor.FromSlice(8, 12, x)
+	m.Forward(xm)
+	rep := Simulate(m.Trace(), DefaultOptions())
+	if rep.Total.Cycles <= 0 {
+		t.Fatal("real-trace simulation failed")
+	}
+}

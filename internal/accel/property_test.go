@@ -1,0 +1,83 @@
+package accel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bundle"
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+// Property: for any generated workload, the simulator's cost components are
+// internally consistent — energy and cycles are positive, DRAM traffic is
+// bounded below by the compulsory weight traffic, and the layer results sum
+// to the total.
+func TestSimulationInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := transformer.Model4
+		tr := workload.SyntheticTrace(cfg, workload.Scenarios()[4],
+			workload.TraceOptions{BSA: seed%2 == 0}, seed)
+		rep := Simulate(tr, DefaultOptions())
+		var cycles int64
+		var energy float64
+		for _, l := range rep.Layers {
+			if l.Result.Cycles <= 0 || l.Result.EnergyPJ() <= 0 {
+				return false
+			}
+			cycles += l.Result.Cycles
+			energy += l.Result.EnergyPJ()
+		}
+		if cycles != rep.Total.Cycles {
+			return false
+		}
+		if diff := energy - rep.Total.EnergyPJ(); diff > 1e-6*energy || diff < -1e-6*energy {
+			return false
+		}
+		// Compulsory weight traffic floor across linear layers.
+		var weightBytes int64
+		for _, l := range tr.Layers {
+			if l.Kind != transformer.KindAttention {
+				weightBytes += int64(l.DIn) * int64(l.DOut)
+			}
+		}
+		return rep.Total.DRAMBytes >= weightBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tightening the ECP threshold never increases attention cost.
+func TestECPMonotoneAtAccelLevel(t *testing.T) {
+	tr := workload.SyntheticTrace(transformer.Model3, workload.Scenarios()[3],
+		workload.TraceOptions{}, 99)
+	prev := int64(1 << 62)
+	for _, theta := range []int{0, 4, 8, 16, 32} {
+		opt := DefaultOptions()
+		if theta > 0 {
+			opt.ECP = &bundle.ECPConfig{Shape: opt.Shape, ThetaQ: theta, ThetaK: theta}
+		}
+		atn := Simulate(tr, opt).AttentionTotal().Cycles
+		if atn > prev {
+			t.Fatalf("θ=%d attention cycles %d exceed looser threshold's %d", theta, atn, prev)
+		}
+		prev = atn
+	}
+}
+
+// Property: a denser workload (no BSA) never simulates faster than its
+// BSA-sparsified counterpart at identical dimensions, for any seed.
+func TestDensityMonotonicity(t *testing.T) {
+	f := func(seed uint64) bool {
+		sc := workload.Scenarios()[4]
+		base := Simulate(workload.SyntheticTrace(transformer.Model4, sc,
+			workload.TraceOptions{}, seed), DefaultOptions())
+		bsa := Simulate(workload.SyntheticTrace(transformer.Model4, sc,
+			workload.TraceOptions{BSA: true}, seed), DefaultOptions())
+		return bsa.Total.Cycles <= base.Total.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

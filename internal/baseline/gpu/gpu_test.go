@@ -1,0 +1,56 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+func trace(model int, seed uint64) *transformer.Trace {
+	cfg := transformer.ModelZoo()[model-1]
+	return workload.SyntheticTrace(cfg, workload.Scenarios()[model],
+		workload.TraceOptions{}, seed)
+}
+
+func TestGPUOrdersOfMagnitudeSlower(t *testing.T) {
+	// §6.2: Bishop averages ~299x over the edge GPU; require two orders of
+	// magnitude for every model.
+	for m := 1; m <= 5; m++ {
+		tr := trace(m, uint64(m))
+		g := Simulate(tr, DefaultOptions())
+		b := accel.Simulate(tr, accel.DefaultOptions())
+		ratio := g.LatencyMS() / b.LatencyMS()
+		if ratio < 50 || ratio > 2000 {
+			t.Fatalf("model %d: GPU/Bishop ratio %.0fx outside band", m, ratio)
+		}
+	}
+}
+
+func TestEnergyIsPowerTimesTime(t *testing.T) {
+	tr := trace(4, 1)
+	opt := DefaultOptions()
+	rep := Simulate(tr, opt)
+	wantMJ := opt.PowerW * rep.Total.LatencySec(rep.Tech) * 1e3
+	gotMJ := rep.EnergyMJ()
+	if gotMJ < wantMJ*0.99 || gotMJ > wantMJ*1.01 {
+		t.Fatalf("energy %v want %v", gotMJ, wantMJ)
+	}
+}
+
+func TestKernelOverheadMatters(t *testing.T) {
+	tr := trace(4, 2)
+	fast := DefaultOptions()
+	slow := DefaultOptions()
+	slow.KernelOverhead = 10 * fast.KernelOverhead
+	if Simulate(tr, slow).Total.Cycles <= Simulate(tr, fast).Total.Cycles {
+		t.Fatal("kernel overhead must increase latency")
+	}
+}
+
+func TestZeroOptionsDefault(t *testing.T) {
+	if Simulate(trace(4, 3), Options{}).Total.Cycles <= 0 {
+		t.Fatal("zero options must fall back to defaults")
+	}
+}

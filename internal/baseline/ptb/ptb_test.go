@@ -1,0 +1,84 @@
+package ptb
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+func trace(model int, seed uint64) *transformer.Trace {
+	cfg := transformer.ModelZoo()[model-1]
+	return workload.SyntheticTrace(cfg, workload.Scenarios()[model],
+		workload.TraceOptions{}, seed)
+}
+
+func TestSimulateCoversLayers(t *testing.T) {
+	tr := trace(4, 1)
+	rep := Simulate(tr, DefaultOptions())
+	if len(rep.Layers) != len(tr.Layers) {
+		t.Fatalf("layers %d want %d", len(rep.Layers), len(tr.Layers))
+	}
+	if rep.Total.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestBishopBeatsPTB(t *testing.T) {
+	// The paper's headline comparison, at trace level: Bishop must beat
+	// PTB on latency and energy for every Table 2 model.
+	for m := 1; m <= 5; m++ {
+		tr := trace(m, uint64(m))
+		p := Simulate(tr, DefaultOptions())
+		b := accel.Simulate(tr, accel.DefaultOptions())
+		if b.Total.Cycles >= p.Total.Cycles {
+			t.Fatalf("model %d: Bishop %d cycles vs PTB %d", m, b.Total.Cycles, p.Total.Cycles)
+		}
+		if b.EnergyMJ() >= p.EnergyMJ() {
+			t.Fatalf("model %d: Bishop energy %v vs PTB %v", m, b.EnergyMJ(), p.EnergyMJ())
+		}
+		ratio := float64(p.Total.Cycles) / float64(b.Total.Cycles)
+		if ratio < 1.5 || ratio > 40 {
+			t.Fatalf("model %d: speedup %.2fx outside plausible band", m, ratio)
+		}
+	}
+}
+
+func TestPTBAttentionUsesMultipliers(t *testing.T) {
+	rep := Simulate(trace(3, 2), DefaultOptions())
+	atn := rep.AttentionTotal()
+	if atn.OpsMul == 0 {
+		t.Fatal("PTB attention is MAC-based")
+	}
+}
+
+func TestPTBPaysWeightRestreaming(t *testing.T) {
+	// PTB's per-token weight re-fetch must show up as much higher GLB
+	// traffic than Bishop's bundle-reuse dataflow on the same workload.
+	tr := trace(1, 3)
+	p := Simulate(tr, DefaultOptions())
+	b := accel.Simulate(tr, accel.DefaultOptions())
+	if p.Total.GLBBytes <= b.Total.GLBBytes {
+		t.Fatalf("PTB GLB %d should exceed Bishop %d", p.Total.GLBBytes, b.Total.GLBBytes)
+	}
+}
+
+func TestAttentionCoreAdvantage(t *testing.T) {
+	// §6.4: the dedicated attention core's latency advantage on the
+	// attention-bound model is large (paper: 10.7-23.3x).
+	tr := trace(3, 4)
+	p := Simulate(tr, DefaultOptions()).AttentionTotal()
+	b := accel.Simulate(tr, accel.DefaultOptions()).AttentionTotal()
+	ratio := float64(p.Cycles) / float64(b.Cycles)
+	if ratio < 2 {
+		t.Fatalf("attention-core advantage %.2fx too small", ratio)
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	rep := Simulate(trace(4, 5), Options{})
+	if rep.Total.Cycles <= 0 {
+		t.Fatal("zero-value options must normalize")
+	}
+}

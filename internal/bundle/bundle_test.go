@@ -1,0 +1,211 @@
+package bundle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spike"
+	"repro/internal/tensor"
+)
+
+func randomSpikes(seed uint64, T, N, D int, p float64) *spike.Tensor {
+	rng := tensor.NewRNG(seed)
+	s := spike.NewTensor(T, N, D)
+	for t := 0; t < T; t++ {
+		for n := 0; n < N; n++ {
+			for d := 0; d < D; d++ {
+				if rng.Float64() < p {
+					s.Set(t, n, d, true)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func TestTagCountsMatchBlocks(t *testing.T) {
+	s := spike.NewTensor(4, 6, 3)
+	s.Set(0, 0, 1, true)
+	s.Set(1, 1, 1, true)
+	s.Set(3, 5, 2, true)
+	tg := Tag(s, Shape{BSt: 2, BSn: 2})
+	if tg.NBt != 2 || tg.NBn != 3 {
+		t.Fatalf("grid %dx%d", tg.NBt, tg.NBn)
+	}
+	if tg.Count(0, 0, 1) != 2 {
+		t.Fatalf("bundle (0,0,1)=%d want 2", tg.Count(0, 0, 1))
+	}
+	if tg.Count(1, 2, 2) != 1 {
+		t.Fatalf("bundle (1,2,2)=%d want 1", tg.Count(1, 2, 2))
+	}
+	if tg.ActiveBundles() != 2 {
+		t.Fatalf("active=%d", tg.ActiveBundles())
+	}
+	if tg.SpikeCount() != 3 {
+		t.Fatalf("spikes=%d", tg.SpikeCount())
+	}
+}
+
+// Property: Σ tags = total spikes, for any shape (Eq. 10 consistency).
+func TestTagSpikeConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		T, N, D := 1+rng.Intn(8), 1+rng.Intn(10), 1+rng.Intn(6)
+		s := randomSpikes(seed+1, T, N, D, 0.3)
+		sh := Shape{BSt: 1 + rng.Intn(4), BSn: 1 + rng.Intn(4)}
+		tg := Tag(s, sh)
+		return tg.SpikeCount() == s.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an active bundle implies at least one spike in its block and
+// vice versa.
+func TestActiveIffSpikes(t *testing.T) {
+	s := randomSpikes(3, 5, 7, 4, 0.15)
+	sh := Shape{BSt: 2, BSn: 3}
+	tg := Tag(s, sh)
+	for bt := 0; bt < tg.NBt; bt++ {
+		for bn := 0; bn < tg.NBn; bn++ {
+			for d := 0; d < s.D; d++ {
+				want := s.CountBlock(bt*sh.BSt, (bt+1)*sh.BSt, bn*sh.BSn, (bn+1)*sh.BSn, d) > 0
+				if tg.Active(bt, bn, d) != want {
+					t.Fatalf("bundle (%d,%d,%d) active=%v want %v", bt, bn, d, tg.Active(bt, bn, d), want)
+				}
+			}
+		}
+	}
+}
+
+func TestBundleDensityBounds(t *testing.T) {
+	s := randomSpikes(4, 4, 8, 16, 0.1)
+	tg := Tag(s, DefaultShape)
+	bd := tg.BundleDensity()
+	if bd < s.Density() || bd > 1 {
+		// bundle density is always ≥ spike density (a spike activates a
+		// whole bundle) and ≤ 1.
+		t.Fatalf("bundle density %v vs spike density %v", bd, s.Density())
+	}
+}
+
+func TestActivePerFeatureAndRowConsistency(t *testing.T) {
+	s := randomSpikes(5, 6, 9, 5, 0.2)
+	tg := Tag(s, Shape{BSt: 3, BSn: 2})
+	perF := tg.ActivePerFeature()
+	perR := tg.ActivePerRow()
+	var sumF, sumR int
+	for _, v := range perF {
+		sumF += v
+	}
+	for _, v := range perR {
+		sumR += v
+	}
+	if sumF != tg.ActiveBundles() || sumR != tg.ActiveBundles() {
+		t.Fatalf("sums %d %d want %d", sumF, sumR, tg.ActiveBundles())
+	}
+}
+
+func TestFeatureActivityHistogramSumsToOne(t *testing.T) {
+	s := randomSpikes(6, 8, 8, 32, 0.05)
+	tg := Tag(s, DefaultShape)
+	h := tg.FeatureActivityHistogram(10)
+	var sum float64
+	for _, v := range h {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("histogram sums to %v", sum)
+	}
+}
+
+func TestZeroFeatureFraction(t *testing.T) {
+	s := spike.NewTensor(2, 2, 4)
+	s.Set(0, 0, 1, true) // only feature 1 active
+	tg := Tag(s, Shape{BSt: 2, BSn: 2})
+	if got := tg.ZeroFeatureFraction(); got != 0.75 {
+		t.Fatalf("zero frac %v want 0.75", got)
+	}
+}
+
+func TestStratifyPartitionsFeatures(t *testing.T) {
+	s := randomSpikes(7, 4, 8, 24, 0.15)
+	tg := Tag(s, DefaultShape)
+	res := Stratify(tg, 2)
+	if len(res.Dense)+len(res.Sparse) != 24 {
+		t.Fatalf("partition size %d+%d", len(res.Dense), len(res.Sparse))
+	}
+	active := tg.ActivePerFeature()
+	for _, d := range res.Dense {
+		if active[d] <= 2 {
+			t.Fatalf("dense feature %d has %d ≤ θ", d, active[d])
+		}
+	}
+	for _, d := range res.Sparse {
+		if active[d] > 2 {
+			t.Fatalf("sparse feature %d has %d > θ", d, active[d])
+		}
+	}
+	// Spikes are conserved across the split.
+	if res.DenseSpikes+res.SparseSpikes != s.Count() {
+		t.Fatalf("spike conservation: %d+%d != %d", res.DenseSpikes, res.SparseSpikes, s.Count())
+	}
+}
+
+func TestStratifyDensityOrdering(t *testing.T) {
+	// After stratification the dense partition must be denser than the
+	// sparse partition (Fig. 6b).
+	s := randomSpikes(8, 8, 8, 64, 0.08)
+	tg := Tag(s, DefaultShape)
+	res := Stratify(tg, 3)
+	if len(res.Dense) == 0 || len(res.Sparse) == 0 {
+		t.Skip("degenerate split for this seed")
+	}
+	if res.DenseDensity() <= res.SparseDensity() {
+		t.Fatalf("dense %v ≤ sparse %v", res.DenseDensity(), res.SparseDensity())
+	}
+}
+
+func TestStratifyExtremes(t *testing.T) {
+	s := randomSpikes(9, 4, 4, 16, 0.3)
+	tg := Tag(s, DefaultShape)
+	all := Stratify(tg, -1)
+	if len(all.Sparse) != 0 {
+		t.Fatalf("θ=-1 must route everything dense, got %d sparse", len(all.Sparse))
+	}
+	none := Stratify(tg, tg.NBt*tg.NBn)
+	if len(none.Dense) != 0 {
+		t.Fatalf("θ=max must route everything sparse, got %d dense", len(none.Dense))
+	}
+}
+
+func TestStratifyForSplitHitsTarget(t *testing.T) {
+	s := randomSpikes(10, 8, 16, 128, 0.1)
+	tg := Tag(s, DefaultShape)
+	for _, target := range []float64{0.25, 0.5, 0.75} {
+		res := StratifyForSplit(tg, target)
+		got := res.DenseFraction()
+		if got < target-0.2 || got > target+0.2 {
+			t.Fatalf("target %v got %v", target, got)
+		}
+	}
+	if StratifyForSplit(tg, 0).DenseFraction() > 0.05 {
+		t.Fatal("target 0 should route ~nothing dense")
+	}
+	if StratifyForSplit(tg, 1).DenseFraction() < 0.95 {
+		t.Fatal("target 1 should route ~everything dense")
+	}
+}
+
+func TestShapeValidateAndVolume(t *testing.T) {
+	if (Shape{BSt: 4, BSn: 2}).Volume() != 8 {
+		t.Fatal("volume")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero shape")
+		}
+	}()
+	Tag(spike.NewTensor(1, 1, 1), Shape{})
+}

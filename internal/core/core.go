@@ -1,0 +1,121 @@
+// Package core is the top-level façade of the Bishop reproduction: the
+// paper's primary contribution is not any single module but the HW/SW
+// co-design loop — train a spiking transformer with Bundle-Sparsity-Aware
+// training, prune its attention with Error-Constrained TTB Pruning, and run
+// the resulting Token-Time-Bundle workload on the heterogeneous accelerator.
+// This package wires those stages into one pipeline with a single entry
+// point, which is also what the quickstart example and integration tests
+// exercise.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/baseline/gpu"
+	"repro/internal/baseline/ptb"
+	"repro/internal/bundle"
+	"repro/internal/dataset"
+	"repro/internal/hw"
+	"repro/internal/train"
+	"repro/internal/transformer"
+)
+
+// PipelineConfig selects the co-design features for one end-to-end run.
+type PipelineConfig struct {
+	Model transformer.Config
+	Seed  uint64
+
+	// Training.
+	Epochs    int
+	LR        float32
+	BSALambda float32 // 0 disables BSA
+	ECPTheta  int     // 0 disables ECP(-aware training)
+	Shape     bundle.Shape
+
+	// Hardware.
+	Accel accel.Options
+}
+
+// DefaultPipeline returns a small, fast co-design configuration.
+func DefaultPipeline(model transformer.Config) PipelineConfig {
+	return PipelineConfig{
+		Model: model, Seed: 1, Epochs: 6, LR: 0.002,
+		Shape: bundle.DefaultShape, Accel: accel.DefaultOptions(),
+	}
+}
+
+// PipelineResult is the outcome of one co-design run: the trained model,
+// its accuracy, and the simulated hardware reports for Bishop and both
+// baselines on the trained model's own activation trace.
+type PipelineResult struct {
+	Model    *transformer.Model
+	Accuracy float64
+	Density  float64 // mean regularized spike density after training
+
+	Bishop *hw.Report
+	PTB    *hw.Report
+	GPU    *hw.Report
+}
+
+// SpeedupVsPTB returns Bishop's latency advantage on this workload.
+func (r *PipelineResult) SpeedupVsPTB() float64 {
+	return r.PTB.LatencyMS() / r.Bishop.LatencyMS()
+}
+
+// EnergyGainVsPTB returns Bishop's energy advantage on this workload.
+func (r *PipelineResult) EnergyGainVsPTB() float64 {
+	return r.PTB.EnergyMJ() / r.Bishop.EnergyMJ()
+}
+
+// Run executes the full co-design pipeline on ds: configure the model with
+// the selected algorithms, train it, trace one test input, and simulate the
+// trace on Bishop, PTB, and the edge GPU.
+func Run(cfg PipelineConfig, ds *dataset.Dataset) (*PipelineResult, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ds.Train) == 0 || len(ds.Test) == 0 {
+		return nil, fmt.Errorf("core: dataset %q has empty splits", ds.Name)
+	}
+	if cfg.Shape.BSt == 0 {
+		cfg.Shape = bundle.DefaultShape
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 6
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.002
+	}
+
+	m := transformer.NewModel(cfg.Model, cfg.Seed)
+	if cfg.BSALambda > 0 {
+		m.BSA = &transformer.BSAConfig{Lambda: cfg.BSALambda, Shape: cfg.Shape, Structured: true}
+	}
+	if cfg.ECPTheta > 0 {
+		ecp := bundle.ECPConfig{Shape: cfg.Shape, ThetaQ: cfg.ECPTheta, ThetaK: cfg.ECPTheta}
+		m.Prune = ecp.PruneFn(nil)
+	}
+
+	trainer := &train.Trainer{Model: m, Opt: train.NewAdamW(cfg.LR, 1e-4), ClipL2: 5}
+	acc := trainer.Run(ds, cfg.Epochs)
+
+	// Trace a test input through the trained model.
+	s := ds.Test[0]
+	if s.Steps != nil {
+		m.ForwardSteps(s.Steps)
+	} else {
+		m.Forward(s.X)
+	}
+	tr := m.Trace()
+
+	res := &PipelineResult{
+		Model:    m,
+		Accuracy: acc,
+		Density:  trainer.MeanSpikeDensity(ds),
+		Bishop:   accel.Simulate(tr, cfg.Accel),
+		PTB:      ptb.Simulate(tr, ptb.DefaultOptions()),
+		GPU:      gpu.Simulate(tr, gpu.DefaultOptions()),
+	}
+	return res, nil
+}

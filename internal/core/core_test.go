@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/quant"
+	"repro/internal/snn"
+	"repro/internal/train"
+	"repro/internal/transformer"
+)
+
+func tinyCfg(ds *dataset.Dataset) transformer.Config {
+	return transformer.Config{Name: "core-tiny", Blocks: 2, T: 4, N: ds.N,
+		D: 32, Heads: 4, MLPRatio: 2, PatchDim: ds.PatchD, Classes: ds.Classes,
+		LIF: snn.DefaultLIF()}
+}
+
+// End-to-end integration: train → trace → simulate. Bishop must beat PTB on
+// the trained model's real activation trace, and the model must learn.
+func TestPipelineEndToEnd(t *testing.T) {
+	ds := dataset.CIFAR10Like(80, 40, 5)
+	cfg := DefaultPipeline(tinyCfg(ds))
+	cfg.Epochs = 4
+	cfg.BSALambda = 0.0004
+	cfg.ECPTheta = 2
+	res, err := Run(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.3 {
+		t.Fatalf("pipeline accuracy %.3f too low", res.Accuracy)
+	}
+	if res.SpeedupVsPTB() <= 1 {
+		t.Fatalf("Bishop must beat PTB on a real trace: %.2fx", res.SpeedupVsPTB())
+	}
+	if res.EnergyGainVsPTB() <= 1 {
+		t.Fatalf("Bishop must use less energy: %.2fx", res.EnergyGainVsPTB())
+	}
+	if res.GPU.LatencyMS() <= res.Bishop.LatencyMS() {
+		t.Fatal("GPU must be slower than Bishop")
+	}
+	if res.Density <= 0 || res.Density >= 1 {
+		t.Fatalf("density %v", res.Density)
+	}
+}
+
+// Deploying onto Bishop means 8-bit weights (§6.1): quantizing a trained
+// model must preserve its test accuracy within a small margin.
+func TestQuantizedDeploymentPreservesAccuracy(t *testing.T) {
+	ds := dataset.CIFAR10Like(80, 40, 9)
+	cfg := DefaultPipeline(tinyCfg(ds))
+	cfg.Epochs = 4
+	res, err := Run(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer := &train.Trainer{Model: res.Model}
+	before := trainer.Evaluate(ds)
+	bytes, maxErr := quant.QuantizeParams(res.Model.Params())
+	after := trainer.Evaluate(ds)
+	t.Logf("int8 footprint %d B, max weight error %.4g, accuracy %.3f -> %.3f",
+		bytes, maxErr, before, after)
+	if bytes != res.Model.NumParams() {
+		t.Fatalf("footprint %d want one byte per weight (%d)", bytes, res.Model.NumParams())
+	}
+	if after < before-0.1 {
+		t.Fatalf("int8 deployment lost too much accuracy: %.3f -> %.3f", before, after)
+	}
+}
+
+// A trained model must survive a save/load round trip bit-exactly.
+func TestSaveLoadTrainedModel(t *testing.T) {
+	ds := dataset.CIFAR10Like(40, 20, 10)
+	cfg := DefaultPipeline(tinyCfg(ds))
+	cfg.Epochs = 2
+	res, err := Run(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snn.SaveParams(&buf, res.Model.Params()); err != nil {
+		t.Fatal(err)
+	}
+	fresh := transformer.NewModel(res.Model.Cfg, 999) // different init
+	if err := snn.LoadParams(&buf, fresh.Params()); err != nil {
+		t.Fatal(err)
+	}
+	a := res.Model.Forward(ds.Test[0].X)
+	b := fresh.Forward(ds.Test[0].X)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("restored model must compute identical logits")
+		}
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	ds := dataset.CIFAR10Like(4, 2, 6)
+	bad := DefaultPipeline(tinyCfg(ds))
+	bad.Model.Heads = 7
+	if _, err := Run(bad, ds); err == nil {
+		t.Fatal("invalid model config must error")
+	}
+	empty := dataset.CIFAR10Like(4, 0, 6)
+	if _, err := Run(DefaultPipeline(tinyCfg(ds)), empty); err == nil {
+		t.Fatal("empty test split must error")
+	}
+}

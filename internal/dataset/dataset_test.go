@@ -1,0 +1,130 @@
+package dataset
+
+import "testing"
+
+func TestGenerateShapes(t *testing.T) {
+	ds := CIFAR10Like(40, 20, 1)
+	if len(ds.Train) != 40 || len(ds.Test) != 20 {
+		t.Fatalf("sizes %d/%d", len(ds.Train), len(ds.Test))
+	}
+	for _, s := range ds.Train {
+		if s.X == nil || s.X.Rows != ds.N || s.X.Cols != ds.PatchD {
+			t.Fatalf("bad sample shape")
+		}
+		if s.Label < 0 || s.Label >= ds.Classes {
+			t.Fatalf("bad label %d", s.Label)
+		}
+	}
+}
+
+func TestGenerateTemporal(t *testing.T) {
+	ds := DVSGestureLike(22, 11, 4, 2)
+	for _, s := range ds.Train {
+		if s.X != nil || len(s.Steps) != 4 {
+			t.Fatalf("temporal sample malformed")
+		}
+		for _, m := range s.Steps {
+			if m.Rows != ds.N || m.Cols != ds.PatchD {
+				t.Fatal("bad step shape")
+			}
+		}
+	}
+}
+
+func TestLabelsBalanced(t *testing.T) {
+	ds := CIFAR10Like(100, 0, 3)
+	counts := make([]int, ds.Classes)
+	for _, s := range ds.Train {
+		counts[s.Label]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples", c, n)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := CIFAR10Like(5, 5, 7)
+	b := CIFAR10Like(5, 5, 7)
+	for i := range a.Train {
+		for j := range a.Train[i].X.Data {
+			if a.Train[i].X.Data[j] != b.Train[i].X.Data[j] {
+				t.Fatal("same seed must generate identical data")
+			}
+		}
+	}
+	c := CIFAR10Like(5, 5, 8)
+	if a.Train[0].X.Data[0] == c.Train[0].X.Data[0] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestClassesSeparable(t *testing.T) {
+	// Nearest-prototype classification on noiseless prototypes must beat
+	// chance by a wide margin: verify samples are closer (L2) to their own
+	// class's mean than to a random other class's mean.
+	ds := CIFAR10Like(200, 0, 9)
+	means := make([][]float32, ds.Classes)
+	counts := make([]int, ds.Classes)
+	dim := ds.N * ds.PatchD
+	for c := range means {
+		means[c] = make([]float32, dim)
+	}
+	for _, s := range ds.Train {
+		for j, v := range s.X.Data {
+			means[s.Label][j] += v
+		}
+		counts[s.Label]++
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float32(counts[c])
+		}
+	}
+	dist := func(x []float32, m []float32) float64 {
+		var d float64
+		for j := range x {
+			dd := float64(x[j] - m[j])
+			d += dd * dd
+		}
+		return d
+	}
+	correct := 0
+	for _, s := range ds.Train {
+		best, bd := -1, 0.0
+		for c := range means {
+			d := dist(s.X.Data, means[c])
+			if best < 0 || d < bd {
+				best, bd = c, d
+			}
+		}
+		if best == s.Label {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(ds.Train))
+	if acc < 0.9 {
+		t.Fatalf("prototype accuracy %.3f — task not separable", acc)
+	}
+}
+
+func TestAllGeneratorsProduce(t *testing.T) {
+	for _, ds := range []*Dataset{
+		CIFAR10Like(4, 2, 1), CIFAR100Like(4, 2, 1), ImageNet100Like(4, 2, 1),
+		DVSGestureLike(4, 2, 3, 1), SpeechCommandsLike(4, 2, 1),
+	} {
+		if len(ds.Train) != 4 || len(ds.Test) != 2 || ds.Classes < 2 {
+			t.Fatalf("%s malformed", ds.Name)
+		}
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Config{Classes: 1, N: 4, PatchD: 4})
+}

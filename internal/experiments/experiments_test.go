@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse a "12.34x" / "56.7%" / plain cell back to a float.
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSuffix(s, "x"), "%"))
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestTablePrinting(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "t", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	tbl.Note("hello %d", 7)
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: t ==", "a", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2MatchesZoo(t *testing.T) {
+	tbl := Table2()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// Model 3 row: blocks 8, T 4, N 196, D 128.
+	r := tbl.Rows[2]
+	if r[2] != "8" || r[3] != "4" || r[4] != "196" || r[5] != "128" {
+		t.Fatalf("model 3 row wrong: %v", r)
+	}
+}
+
+func TestFig3SharesInPaperBand(t *testing.T) {
+	tbl := Fig3()
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		share := cellFloat(t, r[6])
+		if share < 50 || share > 98 {
+			t.Fatalf("attn+mlp share %v%% outside band", share)
+		}
+	}
+	// Attention share must grow with N at fixed depth.
+	n128 := cellFloat(t, tbl.Rows[0][3])
+	n256 := cellFloat(t, tbl.Rows[3][3])
+	if n256 <= n128 {
+		t.Fatalf("attention share should grow with N: %v vs %v", n128, n256)
+	}
+}
+
+func TestFig6DensityOrdering(t *testing.T) {
+	tbl := Fig6(1)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// whole, dense, sparse for each of ±BSA; dense partition must be denser
+	// than the whole, sparse must be sparser.
+	for base := 0; base < 6; base += 3 {
+		whole := cellFloat(t, tbl.Rows[base][1])
+		densePart := cellFloat(t, tbl.Rows[base+1][1])
+		sparsePart := cellFloat(t, tbl.Rows[base+2][1])
+		if densePart <= whole || sparsePart >= whole {
+			t.Fatalf("stratification ordering broken: %v %v %v", whole, densePart, sparsePart)
+		}
+	}
+	// BSA workload must be sparser than the baseline.
+	if cellFloat(t, tbl.Rows[3][1]) >= cellFloat(t, tbl.Rows[0][1]) {
+		t.Fatal("BSA must reduce density")
+	}
+}
+
+func TestFig11Normalization(t *testing.T) {
+	tbl := Fig11(4, 1) // Model 4: 2 blocks × 4 groups = 8 rows
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// The normalization slot (block 1 P1 Bishop latency) must be 1.00.
+	if tbl.Rows[0][1] != "P1" || cellFloat(t, tbl.Rows[0][3]) != 1.0 {
+		t.Fatalf("normalization broken: %v", tbl.Rows[0])
+	}
+	// PTB must be slower than Bishop in aggregate.
+	var ptbSum, bSum float64
+	for _, r := range tbl.Rows {
+		ptbSum += cellFloat(t, r[2])
+		bSum += cellFloat(t, r[3])
+	}
+	if ptbSum <= bSum {
+		t.Fatalf("PTB layer-wise total %v should exceed Bishop %v", ptbSum, bSum)
+	}
+}
+
+func TestFig12SpeedupsOrdered(t *testing.T) {
+	tbl := Fig12(1)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		ptb := cellFloat(t, r[2])
+		bishop := cellFloat(t, r[3])
+		bsa := cellFloat(t, r[4])
+		ecp := cellFloat(t, r[5])
+		if !(bishop > ptb && bsa > bishop && ecp >= bsa) {
+			t.Fatalf("variant ordering broken: %v", r)
+		}
+		if bishop < 50 || bishop > 2000 {
+			t.Fatalf("GPU speedup %v outside two-orders band", bishop)
+		}
+	}
+}
+
+func TestFig13EnergyOrdered(t *testing.T) {
+	tbl := Fig13(1)
+	for _, r := range tbl.Rows {
+		if !(cellFloat(t, r[3]) > cellFloat(t, r[2])) {
+			t.Fatalf("Bishop must beat PTB on energy: %v", r)
+		}
+	}
+}
+
+func TestSummaryHeadline(t *testing.T) {
+	tbl := Summary(1)
+	sp := cellFloat(t, tbl.Rows[0][1])
+	en := cellFloat(t, tbl.Rows[0][2])
+	// Paper: 5.91x / 6.11x. Accept the same order of magnitude.
+	if sp < 2 || sp > 20 || en < 2 || en > 20 {
+		t.Fatalf("headline averages off: %vx / %vx", sp, en)
+	}
+	gpu := cellFloat(t, tbl.Rows[1][1])
+	if gpu < 100 || gpu > 1500 {
+		t.Fatalf("GPU headline %v", gpu)
+	}
+}
+
+func TestFig15UShapeAndPTBWorse(t *testing.T) {
+	tbl := Fig15(1)
+	n := len(tbl.Rows)
+	if n < 5 {
+		t.Fatalf("rows %d", n)
+	}
+	// Last row is PTB; its normalized EDP must exceed the best split (1.0).
+	ptbEDP := cellFloat(t, tbl.Rows[n-1][3])
+	if ptbEDP <= 1.5 {
+		t.Fatalf("PTB EDP %v should be well above optimum", ptbEDP)
+	}
+	// Extreme splits must be no better than the best mid split.
+	first := cellFloat(t, tbl.Rows[0][3])
+	last := cellFloat(t, tbl.Rows[n-2][3])
+	if first < 1.0-1e-9 || last < 1.0-1e-9 {
+		t.Fatalf("extremes cannot beat optimum: %v %v", first, last)
+	}
+}
+
+func TestFig16VolumeSweep(t *testing.T) {
+	tbl := Fig16(1)
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// The (4,14)=56 volume must be worse than the best mid-volume on energy
+	// (idle-token bundling, §6.5.2).
+	var bestMid, huge float64
+	for _, r := range tbl.Rows {
+		vol := cellFloat(t, r[2])
+		en := cellFloat(t, r[4])
+		if vol >= 4 && vol <= 16 && (bestMid == 0 || en < bestMid) {
+			bestMid = en
+		}
+		if vol > 50 {
+			huge = en
+		}
+	}
+	if huge <= bestMid {
+		t.Fatalf("huge volume energy %v should exceed best mid-volume %v", huge, bestMid)
+	}
+}
+
+func TestFig17BreakdownSums(t *testing.T) {
+	tbl := Fig17()
+	// Last row is the total.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "TOTAL" || cellFloat(t, last[1]) != 627 {
+		t.Fatalf("total row wrong: %v", last)
+	}
+	var pw float64
+	for _, r := range tbl.Rows[:len(tbl.Rows)-1] {
+		pw += cellFloat(t, r[1])
+	}
+	if pw < 626 || pw > 628 {
+		t.Fatalf("module power sums to %v", pw)
+	}
+}
+
+func TestSec64Ablations(t *testing.T) {
+	tbl := Sec64(1)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	homoLat := cellFloat(t, tbl.Rows[0][1])
+	hetLat := cellFloat(t, tbl.Rows[1][1])
+	if hetLat >= homoLat {
+		t.Fatal("heterogeneity must reduce latency")
+	}
+	ptbAtn := cellFloat(t, tbl.Rows[2][1])
+	bAtn := cellFloat(t, tbl.Rows[3][1])
+	if bAtn*2 > ptbAtn {
+		t.Fatalf("attention core should be ≥2x faster: %v vs %v", bAtn, ptbAtn)
+	}
+}
+
+func TestRunDispatchAndUnknown(t *testing.T) {
+	if _, err := Run("nope", true, 1); err == nil {
+		t.Fatal("unknown id must error")
+	}
+	tbl, err := Run("fig17", true, 1)
+	if err != nil || tbl.ID != "fig17" {
+		t.Fatalf("dispatch failed: %v", err)
+	}
+}
+
+// Training-based experiments, run in quick mode (several seconds each).
+
+func TestTable1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tbl := Table1(true, 7)
+	spt := cellFloat(t, tbl.Rows[2][1])
+	if spt < 0.3 {
+		t.Fatalf("spiking transformer accuracy %v too low", spt)
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tbl := Fig5(true, 7)
+	// Q spike density row: BSA column must be below baseline.
+	var denRow []string
+	for _, r := range tbl.Rows {
+		if r[0] == "Q spike density" {
+			denRow = r
+		}
+	}
+	if denRow == nil {
+		t.Fatal("density row missing")
+	}
+	if cellFloat(t, denRow[2]) >= cellFloat(t, denRow[1]) {
+		t.Fatalf("BSA must reduce Q density: %v", denRow)
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tbl := Fig8(true, 7)
+	base := cellFloat(t, tbl.Rows[0][1])
+	ecp := cellFloat(t, tbl.Rows[1][1])
+	if ecp < base {
+		t.Fatalf("ECP must not reduce attention focus: %v vs %v", ecp, base)
+	}
+}
+
+func TestFig14Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tbl := Fig14(true, 7)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// Attention speedup must be non-decreasing as the keep target shrinks,
+	// and pruning must actually remove Q tokens at the tightest target.
+	prev := 0.0
+	for _, r := range tbl.Rows {
+		sp := cellFloat(t, r[6])
+		if sp < prev-1e-9 {
+			t.Fatalf("speedup must grow as keep shrinks: %v", tbl.Rows)
+		}
+		prev = sp
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if cellFloat(t, last[4]) > 80 {
+		t.Fatalf("tight keep target left %v%% of Q tokens", last[4])
+	}
+}

@@ -1,0 +1,81 @@
+// Package attention models the reconfigurable TT-Bundle Attention Core
+// (§5.5): a 512-PE systolic array with an S-stationary dataflow and two
+// operating modes. Mode 1 configures the PEs as And-ACcumulate (AAC) units
+// computing the integer attention map S = Q·Kᵀ from binary queries and keys
+// flowing through the array, accumulating into stationary S registers.
+// Mode 2 reconfigures them as Select-ACcumulate (SAC) units computing
+// Y = S·V with the binary V selecting stationary scores. K/V data is reused
+// intra- and inter-Q/S-bundle; ECP has already removed pruned bundle rows
+// from the workload, so only surviving Q/K/V data is loaded or processed.
+package attention
+
+import "repro/internal/hw"
+
+// reconfigCycles is the array's mode-switch cost per layer.
+const reconfigCycles = 32
+
+// Simulate returns the latency/energy of one SSA layer on the attention
+// core, given post-ECP workload statistics.
+func Simulate(t hw.Tech, arr hw.ArrayConfig, st hw.AttnStats) hw.Result {
+	var r hw.Result
+	if st.T == 0 || st.QTokensKept == 0 || st.KTokensKept == 0 {
+		r.Cycles = reconfigCycles
+		return r
+	}
+	// Per-time-step kept token counts (survival is row-structured, so the
+	// average is exact at bundle-row granularity).
+	qPerT := float64(st.QTokensKept) / float64(st.T)
+	kPerT := float64(st.KTokensKept) / float64(st.T)
+
+	// Mode 1: S[n,m] += Q[n,d] AND K[m,d] over all features of all heads
+	// (Σ_h dh = D). Mode 2: Y[n,d] += S[n,m] when V[m,d] fires.
+	opsS := int64(float64(st.T) * qPerT * kPerT * float64(st.D))
+	opsY := opsS // identical index space (n, m, d) per step
+
+	groups := arr.LanesPerUnit
+	if st.Shape.BSt < groups {
+		groups = st.Shape.BSt
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	throughput := int64(arr.AttnPEs) * int64(groups)
+	computeCycles := hw.CeilDiv(opsS, throughput) + hw.CeilDiv(opsY, throughput)
+
+	// Memory traffic: only surviving Q/K/V bundles move. The S-stationary
+	// dataflow keeps scores in PE registers between modes — no S traffic.
+	qBits, kBits, vBits := st.QKVBits()
+	dram := hw.CeilDiv(qBits+kBits+vBits, 8)
+	// Attention output spikes written back after the spike generator.
+	dram += hw.CeilDiv(int64(st.T)*int64(st.N)*int64(st.D), 8)
+	memCycles := hw.CeilDiv(dram, int64(t.DRAMBytesPerCycle()))
+
+	r.Cycles = computeCycles
+	if memCycles > r.Cycles {
+		r.Cycles = memCycles
+	}
+	r.Cycles += reconfigCycles + int64(arr.AttnRows) + int64(arr.AttnCols)
+
+	r.OpsAnd = opsS
+	r.OpsAcc = opsY
+	// AAC: AND + accumulate; SAC: select + accumulate; stationary scores
+	// cost one register write (mode 1) and one read (mode 2) each.
+	sEntries := int64(float64(st.T) * qPerT * kPerT)
+	r.EPE = float64(opsS)*(t.EAnd+t.EAcc32) + float64(opsY)*(t.EMux+t.EAcc32) +
+		float64(2*sEntries)*t.EReg
+
+	// GLB traffic: K/V are reused across the Q/S bundles mapped onto a PE
+	// column (inter-bundle reuse), so each is read once per pass of
+	// Q-bundle column groups; Q streams once.
+	qColPasses := hw.CeilDiv(int64(st.QBundleRows), int64(arr.AttnRows))
+	glb := hw.CeilDiv(qBits, 8)*hw.CeilDiv(int64(st.KBundleRows), int64(arr.AttnCols)) +
+		(hw.CeilDiv(kBits, 8)+hw.CeilDiv(vBits, 8))*qColPasses
+	yBytes := int64(float64(st.T)*qPerT) * int64(st.D) * hw.PsumBytes
+	glb += yBytes
+	r.GLBBytes = glb
+	r.EGLB = float64(glb) * hw.SRAMEnergyPerByte(hw.SpikeGLBKB)
+
+	r.DRAMBytes = dram
+	r.EDRAM = float64(dram) * t.EDRAMPerByte
+	return r
+}

@@ -1,0 +1,97 @@
+package attention
+
+import (
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/hw"
+	"repro/internal/spike"
+	"repro/internal/tensor"
+	"repro/internal/transformer"
+)
+
+func attnStats(seed uint64, T, N, D int, p, qKeep, kKeep float64) hw.AttnStats {
+	rng := tensor.NewRNG(seed)
+	mk := func() *spike.Tensor {
+		s := spike.NewTensor(T, N, D)
+		for t := 0; t < T; t++ {
+			for n := 0; n < N; n++ {
+				for d := 0; d < D; d++ {
+					if rng.Float64() < p {
+						s.Set(t, n, d, true)
+					}
+				}
+			}
+		}
+		return s
+	}
+	mask := func(frac float64) [][]bool {
+		if frac >= 1 {
+			return nil
+		}
+		m := make([][]bool, T)
+		for t := range m {
+			m[t] = make([]bool, N)
+			for n := range m[t] {
+				m[t][n] = float64(n) < frac*float64(N)
+			}
+		}
+		return m
+	}
+	l := transformer.TraceLayer{Q: mk(), K: mk(), V: mk(), Heads: 4,
+		QKeep: mask(qKeep), KKeep: mask(kKeep)}
+	return hw.NewAttnStats(l, bundle.DefaultShape)
+}
+
+func TestFullyPrunedIsNearlyFree(t *testing.T) {
+	st := attnStats(1, 4, 16, 32, 0.2, 0, 1)
+	r := Simulate(hw.Default28nm(), hw.BishopArray(), st)
+	if r.Cycles > reconfigCycles {
+		t.Fatalf("fully pruned attention should only pay reconfig: %d", r.Cycles)
+	}
+}
+
+func TestECPCompoundingReducesWork(t *testing.T) {
+	tech, arr := hw.Default28nm(), hw.BishopArray()
+	full := Simulate(tech, arr, attnStats(2, 4, 64, 64, 0.2, 1, 1))
+	half := Simulate(tech, arr, attnStats(2, 4, 64, 64, 0.2, 0.5, 0.5))
+	if half.OpsAnd*3 > full.OpsAnd {
+		// 0.5 × 0.5 = 0.25 of the ops (plus rounding).
+		t.Fatalf("compounding pruning must quarter the ops: %d vs %d", half.OpsAnd, full.OpsAnd)
+	}
+	if half.Cycles >= full.Cycles {
+		t.Fatal("pruning must reduce cycles")
+	}
+}
+
+func TestNoMultipliers(t *testing.T) {
+	r := Simulate(hw.Default28nm(), hw.BishopArray(), attnStats(3, 4, 32, 32, 0.3, 1, 1))
+	if r.OpsMul != 0 {
+		t.Fatal("the attention core is multiplier-less (AAC/SAC only)")
+	}
+	if r.OpsAnd == 0 || r.OpsAcc == 0 {
+		t.Fatal("both modes must do work")
+	}
+}
+
+func TestQuadraticInTokens(t *testing.T) {
+	tech, arr := hw.Default28nm(), hw.BishopArray()
+	small := Simulate(tech, arr, attnStats(4, 4, 32, 64, 0.2, 1, 1))
+	big := Simulate(tech, arr, attnStats(4, 4, 128, 64, 0.2, 1, 1))
+	ratio := float64(big.OpsAnd) / float64(small.OpsAnd)
+	if ratio < 10 || ratio > 24 {
+		t.Fatalf("ops must scale ~quadratically with N (16x): got %.1fx", ratio)
+	}
+}
+
+func TestScoreStationaryNoScoreDRAM(t *testing.T) {
+	// The S-stationary dataflow keeps scores in PE registers; DRAM traffic
+	// must be bounded by the binary Q/K/V + output bits, far below what
+	// round-tripping multi-bit scores would need.
+	st := attnStats(5, 4, 64, 64, 0.2, 1, 1)
+	r := Simulate(hw.Default28nm(), hw.BishopArray(), st)
+	scoreBytes := int64(st.T) * int64(st.N) * int64(st.N) * hw.ScoreBytes
+	if r.DRAMBytes >= scoreBytes {
+		t.Fatalf("DRAM %d should be below score round-trip %d", r.DRAMBytes, scoreBytes)
+	}
+}

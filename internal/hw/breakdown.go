@@ -1,0 +1,47 @@
+package hw
+
+// ModuleBudget is the synthesized area/power budget of one Bishop module.
+// The values reproduce the paper's §6.6 / Fig. 17 breakdown from the
+// commercial 28 nm synthesis run, which this repo treats as ground-truth
+// constants (see DESIGN.md, "Substitutions").
+type ModuleBudget struct {
+	Name    string
+	PowerMW float64
+	AreaMM2 float64
+}
+
+// BishopBreakdown returns the per-module area/power budgets of the Bishop
+// accelerator (total die 2.96 mm², peak 627 mW).
+func BishopBreakdown() []ModuleBudget {
+	return []ModuleBudget{
+		{Name: "TTB sparse core", PowerMW: 72.2, AreaMM2: 0.38},
+		{Name: "TTB dense core", PowerMW: 246.1, AreaMM2: 0.92},
+		{Name: "TTB attention core", PowerMW: 242.51, AreaMM2: 1.06},
+		{Name: "Spike generator", PowerMW: 18.1, AreaMM2: 0.09},
+		{Name: "GLBs", PowerMW: 48.3, AreaMM2: 0.495},
+	}
+}
+
+// BishopTotalPowerMW is the synthesized peak power of Bishop (§6.1).
+const BishopTotalPowerMW = 627.0
+
+// BishopTotalAreaMM2 is the synthesized die area of Bishop (§6.1).
+const BishopTotalAreaMM2 = 2.96
+
+// PTBTotalPowerMW and PTBTotalAreaMM2 are the equal-resource PTB baseline's
+// synthesis results (§6.1).
+const (
+	PTBTotalPowerMW = 606.9
+	PTBTotalAreaMM2 = 2.80
+)
+
+// PowerOf returns the peak power (W) of the named module, or the total if
+// the name is unknown.
+func PowerOf(name string) float64 {
+	for _, m := range BishopBreakdown() {
+		if m.Name == name {
+			return m.PowerMW * 1e-3
+		}
+	}
+	return BishopTotalPowerMW * 1e-3
+}

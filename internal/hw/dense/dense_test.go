@@ -1,0 +1,83 @@
+package dense
+
+import (
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/hw"
+	"repro/internal/spike"
+	"repro/internal/tensor"
+)
+
+func stats(seed uint64, T, N, D, dout int, p float64, sh bundle.Shape) hw.LinearStats {
+	rng := tensor.NewRNG(seed)
+	s := spike.NewTensor(T, N, D)
+	for t := 0; t < T; t++ {
+		for n := 0; n < N; n++ {
+			for d := 0; d < D; d++ {
+				if rng.Float64() < p {
+					s.Set(t, n, d, true)
+				}
+			}
+		}
+	}
+	return hw.NewLinearStats(s, dout, sh)
+}
+
+func TestEmptyWorkloadIsFree(t *testing.T) {
+	st := stats(1, 4, 8, 16, 32, 0, bundle.DefaultShape)
+	r := Simulate(hw.Default28nm(), hw.BishopArray(), st)
+	if r.Cycles != 0 || r.EnergyPJ() != 0 {
+		t.Fatalf("silent workload must cost nothing: %+v", r)
+	}
+}
+
+func TestCyclesGrowWithDensity(t *testing.T) {
+	// At very low density whole bundle tiles are skipped; cycle counts must
+	// reflect it. Datapath energy grows with density unconditionally.
+	tech, arr := hw.Default28nm(), hw.BishopArray()
+	sparse := Simulate(tech, arr, stats(2, 16, 64, 64, 64, 0.003, bundle.DefaultShape))
+	dense := Simulate(tech, arr, stats(2, 16, 64, 64, 64, 0.4, bundle.DefaultShape))
+	if dense.Cycles <= sparse.Cycles {
+		t.Fatalf("denser workload must take longer: %d vs %d", dense.Cycles, sparse.Cycles)
+	}
+	if dense.EPE <= sparse.EPE {
+		t.Fatal("denser workload must burn more datapath energy")
+	}
+}
+
+func TestOpsMatchSpikesTimesFanout(t *testing.T) {
+	st := stats(3, 4, 16, 32, 48, 0.2, bundle.DefaultShape)
+	r := Simulate(hw.Default28nm(), hw.BishopArray(), st)
+	if r.OpsAcc != int64(st.TotalSpikes)*48 {
+		t.Fatalf("ops %d want %d", r.OpsAcc, int64(st.TotalSpikes)*48)
+	}
+	if r.OpsMul != 0 {
+		t.Fatal("the dense core has no multipliers")
+	}
+}
+
+func TestLargerBundlesImproveWeightReuse(t *testing.T) {
+	// More slots per bundle → fewer bundle tiles → fewer weight streams.
+	tech, arr := hw.Default28nm(), hw.BishopArray()
+	small := Simulate(tech, arr, stats(4, 8, 32, 64, 64, 0.3, bundle.Shape{BSt: 1, BSn: 1}))
+	big := Simulate(tech, arr, stats(4, 8, 32, 64, 64, 0.3, bundle.Shape{BSt: 4, BSn: 4}))
+	if big.GLBBytes >= small.GLBBytes {
+		t.Fatalf("bundling must reduce GLB traffic: %d vs %d", big.GLBBytes, small.GLBBytes)
+	}
+	if big.Cycles >= small.Cycles {
+		t.Fatalf("bundling must reduce cycles: %d vs %d", big.Cycles, small.Cycles)
+	}
+}
+
+func TestMemoryBoundWorkload(t *testing.T) {
+	// A huge weight matrix with almost no spikes is DRAM-bound: cycles must
+	// be at least the weight-streaming time.
+	tech, arr := hw.Default28nm(), hw.BishopArray()
+	st := stats(5, 2, 4, 2048, 2048, 0.01, bundle.DefaultShape)
+	r := Simulate(tech, arr, st)
+	memCycles := hw.CeilDiv(st.WeightDRAMBytes(), int64(tech.DRAMBytesPerCycle()))
+	if r.Cycles < memCycles {
+		t.Fatalf("cycles %d below DRAM floor %d", r.Cycles, memCycles)
+	}
+}

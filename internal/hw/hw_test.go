@@ -1,0 +1,227 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/spike"
+	"repro/internal/tensor"
+	"repro/internal/transformer"
+)
+
+func TestDefault28nmSane(t *testing.T) {
+	tech := Default28nm()
+	if tech.ClockHz != 500e6 {
+		t.Fatalf("clock %v", tech.ClockHz)
+	}
+	if tech.CyclePeriod() != 2e-9 {
+		t.Fatalf("period %v", tech.CyclePeriod())
+	}
+	if tech.DRAMBytesPerCycle() != 76.8e9/500e6 {
+		t.Fatalf("bytes/cycle %v", tech.DRAMBytesPerCycle())
+	}
+	if tech.EMul8 <= tech.EAnd {
+		t.Fatal("a multiplier must cost more than an AND gate")
+	}
+}
+
+func TestSRAMEnergyMonotone(t *testing.T) {
+	small := SRAMEnergyPerByte(SpikeGLBKB)
+	big := SRAMEnergyPerByte(WeightGLBKB)
+	if big <= small {
+		t.Fatalf("larger SRAM must cost more per access: %v vs %v", big, small)
+	}
+	if SRAMEnergyPerByte(0.5) != SRAMEnergyPerByte(1) {
+		t.Fatal("sub-1KB capacities must clamp")
+	}
+}
+
+func TestResultAddAndParallel(t *testing.T) {
+	a := Result{Cycles: 10, EPE: 1, DRAMBytes: 5}
+	b := Result{Cycles: 20, EPE: 2, DRAMBytes: 7}
+	sum := a
+	sum.Add(b)
+	if sum.Cycles != 30 || sum.EPE != 3 || sum.DRAMBytes != 12 {
+		t.Fatalf("Add wrong: %+v", sum)
+	}
+	par := a
+	par.Parallel(b)
+	if par.Cycles != 20 || par.EPE != 3 {
+		t.Fatalf("Parallel wrong: %+v", par)
+	}
+}
+
+func TestResultConversions(t *testing.T) {
+	tech := Default28nm()
+	r := Result{Cycles: 500e6} // one second of cycles
+	if math.Abs(r.LatencySec(tech)-1) > 1e-9 {
+		t.Fatalf("latency %v", r.LatencySec(tech))
+	}
+	r.EPE = 1e9 // 1 mJ in pJ... (1e9 pJ = 1 mJ)
+	if math.Abs(r.EnergyMJ()-1) > 1e-12 {
+		t.Fatalf("energy %v", r.EnergyMJ())
+	}
+	if r.EDP(tech) != r.EnergyPJ()*r.LatencySec(tech) {
+		t.Fatal("EDP identity")
+	}
+}
+
+func TestChargeStaticAndDRAM(t *testing.T) {
+	tech := Default28nm()
+	r := Result{Cycles: int64(tech.ClockHz)} // 1 s
+	r.ChargeStatic(tech, 1.0)                // 1 W peak
+	want := tech.StaticFrac * 1e12
+	if math.Abs(r.EStatic-want) > 1 {
+		t.Fatalf("static %v want %v", r.EStatic, want)
+	}
+	r2 := Result{Cycles: int64(tech.ClockHz)}
+	r2.ChargeDRAMBackground(tech)
+	if math.Abs(r2.EStatic-tech.PDRAM*1e12) > 1 {
+		t.Fatalf("dram bg %v", r2.EStatic)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	if CeilDiv(10, 3) != 4 || CeilDiv(9, 3) != 3 || CeilDiv(0, 5) != 0 {
+		t.Fatal("ceilDiv broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero divisor")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestBishopBreakdownMatchesPaper(t *testing.T) {
+	var pw, ar float64
+	for _, m := range BishopBreakdown() {
+		pw += m.PowerMW
+		ar += m.AreaMM2
+	}
+	// §6.6: modules sum to ~627 mW and ~2.945 mm² of the 2.96 mm² die.
+	if math.Abs(pw-627.21) > 1 {
+		t.Fatalf("power sum %v", pw)
+	}
+	if math.Abs(ar-2.945) > 0.01 {
+		t.Fatalf("area sum %v", ar)
+	}
+	if PowerOf("TTB dense core") != 246.1e-3 {
+		t.Fatalf("PowerOf dense %v", PowerOf("TTB dense core"))
+	}
+	if PowerOf("nope") != BishopTotalPowerMW*1e-3 {
+		t.Fatal("unknown module must fall back to total")
+	}
+}
+
+func randSpikes(seed uint64, T, N, D int, p float64) *spike.Tensor {
+	rng := tensor.NewRNG(seed)
+	s := spike.NewTensor(T, N, D)
+	for t := 0; t < T; t++ {
+		for n := 0; n < N; n++ {
+			for d := 0; d < D; d++ {
+				if rng.Float64() < p {
+					s.Set(t, n, d, true)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func TestLinearStatsConservation(t *testing.T) {
+	in := randSpikes(1, 8, 16, 32, 0.2)
+	st := NewLinearStats(in, 64, bundle.Shape{BSt: 4, BSn: 2})
+	var spk, act int
+	for d := 0; d < 32; d++ {
+		spk += st.SpikesPerFeature[d]
+		act += st.ActivePerFeature[d]
+	}
+	if spk != in.Count() || spk != st.TotalSpikes {
+		t.Fatalf("spike conservation: %d vs %d", spk, in.Count())
+	}
+	if act != st.ActiveBundles {
+		t.Fatalf("bundle conservation")
+	}
+	if st.B != 2*8 {
+		t.Fatalf("bundle rows %d", st.B)
+	}
+}
+
+func TestLinearStatsSplitConserves(t *testing.T) {
+	in := randSpikes(2, 8, 16, 32, 0.15)
+	sh := bundle.Shape{BSt: 4, BSn: 2}
+	st := NewLinearStats(in, 64, sh)
+	tg := bundle.Tag(in, sh)
+	res := bundle.StratifyForSplit(tg, 0.5)
+	d, s := st.Split(res)
+	if d.TotalSpikes+s.TotalSpikes != st.TotalSpikes {
+		t.Fatal("split loses spikes")
+	}
+	if d.DIn+s.DIn != st.DIn {
+		t.Fatal("split loses features")
+	}
+	if d.DOut != st.DOut || s.B != st.B {
+		t.Fatal("split must preserve DOut and B")
+	}
+}
+
+func TestLinearStatsTrafficPositive(t *testing.T) {
+	in := randSpikes(3, 4, 8, 16, 0.1)
+	st := NewLinearStats(in, 32, bundle.DefaultShape)
+	if st.WeightDRAMBytes() != 16*32 {
+		t.Fatalf("weight bytes %d", st.WeightDRAMBytes())
+	}
+	if st.ActivationDRAMBytes() <= 0 || st.OutputDRAMBytes() <= 0 {
+		t.Fatal("traffic must be positive")
+	}
+}
+
+func TestAttnStatsMasks(t *testing.T) {
+	q := randSpikes(4, 4, 8, 16, 0.2)
+	k := randSpikes(5, 4, 8, 16, 0.2)
+	v := randSpikes(6, 4, 8, 16, 0.2)
+	keepHalf := make([][]bool, 4)
+	for tt := range keepHalf {
+		keepHalf[tt] = make([]bool, 8)
+		for n := 0; n < 4; n++ {
+			keepHalf[tt][n] = true
+		}
+	}
+	l := transformer.TraceLayer{Q: q, K: k, V: v, Heads: 4, QKeep: keepHalf}
+	st := NewAttnStats(l, bundle.Shape{BSt: 2, BSn: 2})
+	if st.QKeepFrac() != 0.5 {
+		t.Fatalf("QKeepFrac %v", st.QKeepFrac())
+	}
+	if st.KKeepFrac() != 1 {
+		t.Fatalf("KKeepFrac %v", st.KKeepFrac())
+	}
+	qb, kb, vb := st.QKVBits()
+	if qb != int64(st.QTokensKept)*16 || kb != vb {
+		t.Fatalf("bits %d %d %d", qb, kb, vb)
+	}
+	// Half the tokens kept → half the bundle rows (mask is row-aligned).
+	if st.QBundleRows != st.KBundleRows/2*1 && st.QBundleRows >= st.KBundleRows {
+		t.Fatalf("bundle rows %d vs %d", st.QBundleRows, st.KBundleRows)
+	}
+}
+
+func TestReportGroupTotals(t *testing.T) {
+	rep := &Report{Tech: Default28nm()}
+	rep.Layers = []LayerReport{
+		{Group: "P1", Result: Result{Cycles: 10}},
+		{Group: "ATN", Result: Result{Cycles: 20}},
+		{Group: "P1", Result: Result{Cycles: 5}},
+	}
+	order, totals := rep.GroupTotals()
+	if len(order) != 2 || order[0] != "P1" {
+		t.Fatalf("order %v", order)
+	}
+	if totals["P1"].Cycles != 15 || totals["ATN"].Cycles != 20 {
+		t.Fatalf("totals %+v", totals)
+	}
+	if rep.AttentionTotal().Cycles != 20 {
+		t.Fatal("attention total")
+	}
+}

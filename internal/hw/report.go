@@ -1,0 +1,58 @@
+package hw
+
+// LayerReport is the simulated outcome of one traced layer on one
+// accelerator, retaining the Fig. 11 grouping labels.
+type LayerReport struct {
+	Block int
+	Group string // "P1", "ATN", "P2", "MLP"
+	Name  string
+	Core  string // which core(s) executed it
+
+	Result Result
+	// For stratified layers, the per-core split (informational).
+	Dense, Sparse Result
+}
+
+// Report is a whole-model simulation outcome.
+type Report struct {
+	Name   string // accelerator name
+	Tech   Tech
+	Layers []LayerReport
+	Total  Result
+}
+
+// LatencyMS returns the end-to-end latency in milliseconds.
+func (r *Report) LatencyMS() float64 { return r.Total.LatencyMS(r.Tech) }
+
+// EnergyMJ returns the end-to-end energy in millijoules.
+func (r *Report) EnergyMJ() float64 { return r.Total.EnergyMJ() }
+
+// EDP returns the end-to-end energy-delay product (pJ·s).
+func (r *Report) EDP() float64 { return r.Total.EDP(r.Tech) }
+
+// GroupTotals sums results per Fig. 11 group label, preserving first-seen
+// order.
+func (r *Report) GroupTotals() (order []string, totals map[string]Result) {
+	totals = map[string]Result{}
+	for _, l := range r.Layers {
+		if _, ok := totals[l.Group]; !ok {
+			order = append(order, l.Group)
+		}
+		t := totals[l.Group]
+		t.Add(l.Result)
+		totals[l.Group] = t
+	}
+	return order, totals
+}
+
+// AttentionTotal sums the results of the attention layers only (used by the
+// Fig. 14 per-layer-class comparisons).
+func (r *Report) AttentionTotal() Result {
+	var t Result
+	for _, l := range r.Layers {
+		if l.Group == "ATN" {
+			t.Add(l.Result)
+		}
+	}
+	return t
+}

@@ -1,0 +1,53 @@
+// Package sparse models the TT-Bundle Sparse Core (§5.4): a SIGMA-like
+// engine with up to 128 parallel TTB processing units behind a flexible
+// distribution/reduction network (the paper simulates it with STONNE; here
+// an analytic stand-in with the same nnz-proportional behaviour). Unlike
+// the lockstep dense array, its cycle count scales with the number of
+// spikes actually present, at the cost of per-bundle weight fetches and a
+// distribution-network overhead.
+package sparse
+
+import "repro/internal/hw"
+
+// distOverhead models the benes-network distribution/reduction cost of the
+// SIGMA-style interconnect relative to perfect utilization.
+const distOverhead = 1.15
+
+// Simulate returns the latency/energy of one stratified sparse workload.
+func Simulate(t hw.Tech, arr hw.ArrayConfig, st hw.LinearStats) hw.Result {
+	var r hw.Result
+	if st.DIn == 0 || st.TotalSpikes == 0 {
+		return r
+	}
+	lanes := int64(arr.SparseUnits) * int64(arr.LanesPerUnit)
+
+	// nnz-proportional compute: every spike triggers DOut accumulates,
+	// spread across the TTB units.
+	ops := int64(st.TotalSpikes) * int64(st.DOut)
+	computeCycles := int64(distOverhead * float64(hw.CeilDiv(ops, lanes)))
+
+	// Weights are fetched per active bundle (reused across the slots inside
+	// the bundle, but not across bundles like the dense array's broadcast).
+	weightGLBReads := int64(st.ActiveBundles) * int64(st.DOut) * hw.WeightBytes
+
+	dram := st.WeightDRAMBytes() + st.ActivationDRAMBytes() + st.OutputDRAMBytes()
+	memCycles := hw.CeilDiv(dram, int64(t.DRAMBytesPerCycle()))
+	r.Cycles = computeCycles
+	if memCycles > r.Cycles {
+		r.Cycles = memCycles
+	}
+	r.Cycles += int64(arr.SparseUnits) / 8 // reduction-tree fill
+
+	r.OpsAcc = ops
+	r.EPE = float64(ops) * (t.EMux + t.EAcc32 + t.EReg)
+
+	spikeGLB := st.ActivationDRAMBytes()
+	psum := int64(st.T) * int64(st.N) * int64(st.DOut) * hw.PsumBytes
+	r.GLBBytes = weightGLBReads + spikeGLB + psum
+	r.EGLB = float64(weightGLBReads)*hw.SRAMEnergyPerByte(hw.WeightGLBKB) +
+		float64(spikeGLB+psum)*hw.SRAMEnergyPerByte(hw.SpikeGLBKB)
+
+	r.DRAMBytes = dram
+	r.EDRAM = float64(dram) * t.EDRAMPerByte
+	return r
+}

@@ -1,0 +1,69 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/hw"
+	"repro/internal/hw/dense"
+	"repro/internal/spike"
+	"repro/internal/tensor"
+)
+
+func stats(seed uint64, T, N, D, dout int, p float64) hw.LinearStats {
+	rng := tensor.NewRNG(seed)
+	s := spike.NewTensor(T, N, D)
+	for t := 0; t < T; t++ {
+		for n := 0; n < N; n++ {
+			for d := 0; d < D; d++ {
+				if rng.Float64() < p {
+					s.Set(t, n, d, true)
+				}
+			}
+		}
+	}
+	return hw.NewLinearStats(s, dout, bundle.DefaultShape)
+}
+
+func TestEmptyWorkloadIsFree(t *testing.T) {
+	r := Simulate(hw.Default28nm(), hw.BishopArray(), stats(1, 4, 8, 16, 32, 0))
+	if r.Cycles != 0 || r.EnergyPJ() != 0 {
+		t.Fatalf("empty workload: %+v", r)
+	}
+}
+
+func TestNNZProportionalCycles(t *testing.T) {
+	tech, arr := hw.Default28nm(), hw.BishopArray()
+	a := Simulate(tech, arr, stats(2, 8, 32, 64, 64, 0.02))
+	b := Simulate(tech, arr, stats(2, 8, 32, 64, 64, 0.08))
+	if b.Cycles <= a.Cycles {
+		t.Fatal("more spikes must cost more cycles")
+	}
+}
+
+// The architectural raison d'être: on very sparse workloads the SIGMA-like
+// core beats the lockstep dense array; on dense ones it loses (its weights
+// are re-fetched per bundle and the distribution network adds overhead) —
+// this is why the stratifier exists (§5.2).
+func TestSparseCoreWinsOnSparseLosesOnDense(t *testing.T) {
+	tech, arr := hw.Default28nm(), hw.BishopArray()
+	sp := stats(3, 8, 64, 128, 128, 0.01)
+	if Simulate(tech, arr, sp).Cycles >= dense.Simulate(tech, arr, sp).Cycles {
+		t.Fatal("sparse core must win on a very sparse workload")
+	}
+	dn := stats(4, 8, 64, 128, 128, 0.5)
+	if Simulate(tech, arr, dn).EGLB <= dense.Simulate(tech, arr, dn).EGLB {
+		t.Fatal("sparse core must pay more GLB energy on a dense workload")
+	}
+}
+
+func TestDistributionOverheadApplied(t *testing.T) {
+	tech, arr := hw.Default28nm(), hw.BishopArray()
+	st := stats(5, 8, 32, 64, 64, 0.3)
+	r := Simulate(tech, arr, st)
+	lanes := int64(arr.SparseUnits) * int64(arr.LanesPerUnit)
+	ideal := hw.CeilDiv(int64(st.TotalSpikes)*64, lanes)
+	if r.Cycles <= ideal {
+		t.Fatalf("cycles %d must exceed ideal %d (distribution overhead)", r.Cycles, ideal)
+	}
+}

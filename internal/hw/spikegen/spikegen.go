@@ -1,0 +1,31 @@
+// Package spikegen models the Spike Generator (§5.4, Fig. 9): up to 512
+// parallel neuron lanes that merge the dense- and sparse-core partial sums
+// (sparse-dense addition), update each neuron's membrane potential, compare
+// against V_th, and conditionally emit output spikes with reset.
+package spikegen
+
+import "repro/internal/hw"
+
+// Simulate returns the cost of generating outputs spikes for `neurons`
+// membrane updates (typically T·N·D_out per layer). merge indicates whether
+// a sparse-dense addition precedes the update (true for stratified layers).
+func Simulate(t hw.Tech, arr hw.ArrayConfig, neurons int64, merge bool) hw.Result {
+	var r hw.Result
+	if neurons <= 0 {
+		return r
+	}
+	r.Cycles = hw.CeilDiv(neurons, int64(arr.SpikeLanes))
+	// Per update: optional sparse-dense add, leak-add, threshold compare,
+	// membrane register read+write.
+	perOp := t.EAcc32 + t.EAcc8 + 2*t.EReg
+	if merge {
+		perOp += t.EAcc32
+	}
+	r.OpsAcc = neurons
+	r.EPE = float64(neurons) * perOp
+	// Membrane potentials live in the generator's scratchpad.
+	bytes := neurons * hw.PsumBytes
+	r.GLBBytes = bytes
+	r.EGLB = float64(bytes) * hw.SRAMEnergyPerByte(hw.SpikeGLBKB)
+	return r
+}

@@ -1,0 +1,38 @@
+package spikegen
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestZeroNeuronsFree(t *testing.T) {
+	r := Simulate(hw.Default28nm(), hw.BishopArray(), 0, false)
+	if r.Cycles != 0 || r.EnergyPJ() != 0 {
+		t.Fatalf("zero neurons: %+v", r)
+	}
+}
+
+func TestLaneParallelism(t *testing.T) {
+	tech, arr := hw.Default28nm(), hw.BishopArray()
+	r := Simulate(tech, arr, 512, false)
+	if r.Cycles != 1 {
+		t.Fatalf("512 neurons on 512 lanes must take 1 cycle, got %d", r.Cycles)
+	}
+	r2 := Simulate(tech, arr, 513, false)
+	if r2.Cycles != 2 {
+		t.Fatalf("513 neurons must take 2 cycles, got %d", r2.Cycles)
+	}
+}
+
+func TestMergeCostsMore(t *testing.T) {
+	tech, arr := hw.Default28nm(), hw.BishopArray()
+	plain := Simulate(tech, arr, 1000, false)
+	merged := Simulate(tech, arr, 1000, true)
+	if merged.EPE <= plain.EPE {
+		t.Fatal("sparse-dense merge must add energy")
+	}
+	if merged.Cycles != plain.Cycles {
+		t.Fatal("merge is fused, not extra cycles")
+	}
+}

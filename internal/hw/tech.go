@@ -1,0 +1,117 @@
+// Package hw provides the shared hardware-modeling substrate for the Bishop
+// accelerator simulator and its baselines: 28 nm technology constants
+// (per-operation energies, DRAM parameters), a cacti-lite analytic SRAM
+// energy model standing in for CACTI 7.0, the latency/energy accounting
+// types, the paper's §6.6 area/power breakdown, and workload-statistics
+// extraction from traced spike tensors.
+package hw
+
+import "math"
+
+// Tech holds the technology and system constants of the evaluation setup
+// (§6.1): a commercial 28 nm process at 500 MHz with DDR4-2400 DRAM.
+// Per-operation energies are standard 28 nm figures (Horowitz-style tables);
+// the DRAM numbers are the paper's.
+type Tech struct {
+	ClockHz float64 // core clock (500 MHz)
+
+	// Dynamic energy per operation, in pJ.
+	EAcc32 float64 // 32-bit accumulate (partial-sum add)
+	EAcc8  float64 // 8-bit add / comparator
+	EMul8  float64 // 8×8-bit multiply (baseline PEs only; Bishop has none)
+	EAnd   float64 // AND gate evaluation (AAC attention ops)
+	EMux   float64 // multiplexer select (SAC ops)
+	EReg   float64 // local register access
+
+	// DRAM (DDR4-2400, §6.1).
+	DRAMBandwidth float64 // bytes/s (76.8 GB/s)
+	EDRAMPerByte  float64 // pJ/byte
+	PDRAM         float64 // W (323.9 mW)
+
+	// Static (leakage + clock-tree + non-datapath switching) power as a
+	// fraction of the synthesized peak core power, charged for the duration
+	// a module is occupied. Together with the DRAM background power this
+	// reproduces the paper's power×time energy methodology (§6.1), with the
+	// per-op dynamic energies as activity-dependent increments.
+	StaticFrac float64
+}
+
+// Default28nm returns the technology model used by every experiment.
+func Default28nm() Tech {
+	return Tech{
+		ClockHz:       500e6,
+		EAcc32:        0.10,
+		EAcc8:         0.03,
+		EMul8:         0.20,
+		EAnd:          0.005,
+		EMux:          0.01,
+		EReg:          0.06,
+		DRAMBandwidth: 76.8e9,
+		EDRAMPerByte:  20, // incremental access energy; the 323.9 mW DRAM
+		// background power is charged over the occupied period separately
+		PDRAM:      0.3239,
+		StaticFrac: 0.6,
+	}
+}
+
+// CyclePeriod returns the clock period in seconds.
+func (t Tech) CyclePeriod() float64 { return 1 / t.ClockHz }
+
+// DRAMBytesPerCycle returns the DRAM bandwidth expressed per core cycle.
+func (t Tech) DRAMBytesPerCycle() float64 { return t.DRAMBandwidth / t.ClockHz }
+
+// SRAMEnergyPerByte is the cacti-lite stand-in for CACTI 7.0: dynamic read/
+// write energy per byte for an SRAM of the given capacity. The log-capacity
+// scaling reproduces CACTI's relative magnitudes in the 4 KB–1 MB range at
+// 28 nm (≈0.3 pJ/B at 12 KB, ≈0.45 pJ/B at 144 KB).
+func SRAMEnergyPerByte(capacityKB float64) float64 {
+	if capacityKB < 1 {
+		capacityKB = 1
+	}
+	return 0.18 * (1 + 0.17*math.Log2(capacityKB))
+}
+
+// Bishop's buffer provisioning (§6.1).
+const (
+	WeightGLBKB = 144 // weight global buffer, 512-bit ports
+	SpikeGLBKB  = 12  // each of the ping-pong spike TTB GLBs
+	WeightBytes = 1   // 8-bit weights
+	PsumBytes   = 2   // 16-bit partial sums
+	ScoreBytes  = 2   // attention scores: 6–10 bits, stored as 16-bit
+)
+
+// ArrayConfig describes the compute provisioning of an accelerator (§6.1).
+type ArrayConfig struct {
+	DensePEs     int // TTB dense core PEs (32 output features × 16 bundles)
+	DenseCols    int // output features processed in parallel
+	DenseRows    int // TT-bundles processed in parallel
+	SparseUnits  int // parallel TTB units in the SIGMA-like sparse core
+	AttnPEs      int // attention core PEs
+	AttnCols     int
+	AttnRows     int
+	SpikeLanes   int // spike generator neurons in parallel
+	LanesPerUnit int // spikes a TTB unit can process per cycle
+}
+
+// BishopArray is the provisioning from §6.1.
+func BishopArray() ArrayConfig {
+	return ArrayConfig{
+		DensePEs: 512, DenseCols: 32, DenseRows: 16,
+		SparseUnits: 128,
+		AttnPEs:     512, AttnCols: 32, AttnRows: 16,
+		SpikeLanes: 512, LanesPerUnit: 10,
+	}
+}
+
+// PTBArray gives the PTB baseline the same number of PEs with the same
+// per-PE register/compute resources, per the fair-comparison setup of §6.1
+// (nearly identical synthesized area and power). PTB is homogeneous: one
+// systolic array handles projections, MLPs, and attention.
+func PTBArray() ArrayConfig {
+	return ArrayConfig{
+		DensePEs: 1024, DenseCols: 32, DenseRows: 32,
+		SparseUnits: 0,
+		AttnPEs:     0,
+		SpikeLanes:  512, LanesPerUnit: 10,
+	}
+}

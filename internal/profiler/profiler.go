@@ -1,0 +1,83 @@
+// Package profiler implements the complexity/workload analysis of §2.2:
+// analytic FLOP counts per layer class for a spiking-transformer
+// configuration (the Fig. 3 breakdown), and actual synaptic-operation counts
+// extracted from a traced forward pass (which, unlike FLOPs, reflect firing
+// sparsity).
+package profiler
+
+import (
+	"repro/internal/transformer"
+)
+
+// Breakdown is the per-layer-class FLOP count of one configuration.
+type Breakdown struct {
+	Cfg        transformer.Config
+	Tokenizer  float64
+	Projection float64 // Q/K/V/O linear projections
+	MLP        float64
+	Attention  float64
+	LIF        float64
+}
+
+// Total returns the summed FLOPs.
+func (b Breakdown) Total() float64 {
+	return b.Tokenizer + b.Projection + b.MLP + b.Attention + b.LIF
+}
+
+// AttnMLPShare returns the fraction of FLOPs in attention + MLP blocks —
+// the quantity Fig. 3 reports (66.5%–91.0% across configurations).
+func (b Breakdown) AttnMLPShare() float64 {
+	return (b.Attention + b.MLP) / b.Total()
+}
+
+// AttentionShare returns the attention fraction alone.
+func (b Breakdown) AttentionShare() float64 { return b.Attention / b.Total() }
+
+// Profile computes the analytic FLOP breakdown of cfg following §2.2:
+// projections and MLPs are O(T·N·D²), attention is O(T·N²·D), LIF layers
+// are O(T·N·D), and the tokenizer is a patch projection O(T·N·PatchDim·D).
+func Profile(cfg transformer.Config) Breakdown {
+	T, N, D := float64(cfg.T), float64(cfg.N), float64(cfg.D)
+	L := float64(cfg.Blocks)
+	R := float64(cfg.MLPRatio)
+	b := Breakdown{Cfg: cfg}
+	b.Tokenizer = 2 * T * N * float64(cfg.PatchDim) * D
+	b.Projection = L * 4 * 2 * T * N * D * D // Wq, Wk, Wv, Wo
+	b.MLP = L * 2 * 2 * T * N * D * (R * D)  // W1, W2
+	b.Attention = L * 2 * 2 * T * N * N * D  // S=QKᵀ and Y=SV
+	b.LIF = L * 7 * T * N * D                // 7 LIF layers per block
+	return b
+}
+
+// TraceOps is the actual operation count of a traced forward pass: synaptic
+// accumulates triggered by real spikes (projection/MLP) and attention
+// AND/select-accumulates over surviving tokens.
+type TraceOps struct {
+	Projection float64
+	MLP        float64
+	Attention  float64
+}
+
+// Total returns the summed operations.
+func (o TraceOps) Total() float64 { return o.Projection + o.MLP + o.Attention }
+
+// OpsFromTrace counts the work a spike-driven accelerator actually performs
+// for the traced activations: spikes × fan-out for linear layers, and
+// kept-Q × kept-K × D AND/accumulate pairs for attention.
+func OpsFromTrace(tr *transformer.Trace) TraceOps {
+	var o TraceOps
+	for _, l := range tr.Layers {
+		switch l.Kind {
+		case transformer.KindProjection:
+			o.Projection += float64(l.In.Count()) * float64(l.DOut)
+		case transformer.KindMLP:
+			o.MLP += float64(l.In.Count()) * float64(l.DOut)
+		case transformer.KindAttention:
+			qk := transformer.KeepFraction(l.QKeep)
+			kk := transformer.KeepFraction(l.KKeep)
+			T, N, D := float64(l.Q.T), float64(l.Q.N), float64(l.Q.D)
+			o.Attention += 2 * T * (N * qk) * (N * kk) * D
+		}
+	}
+	return o
+}

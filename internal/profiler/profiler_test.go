@@ -1,0 +1,82 @@
+package profiler
+
+import (
+	"testing"
+
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+func TestProfileSharesSumToOne(t *testing.T) {
+	for _, cfg := range transformer.ModelZoo() {
+		b := Profile(cfg)
+		if b.Total() <= 0 {
+			t.Fatalf("%s: non-positive total", cfg.Name)
+		}
+		share := (b.Tokenizer + b.Projection + b.MLP + b.Attention + b.LIF) / b.Total()
+		if share < 0.999 || share > 1.001 {
+			t.Fatalf("%s: components don't sum: %v", cfg.Name, share)
+		}
+	}
+}
+
+func TestAttnMLPDominatesPerFig3(t *testing.T) {
+	// Fig. 3: attention+MLP blocks account for 66.5%–91.0% of FLOPs across
+	// ImageNet-scale configurations.
+	for _, n := range []int{128, 256} {
+		for _, blocks := range []int{4, 8, 12} {
+			cfg := transformer.Model3
+			cfg.N, cfg.Blocks, cfg.D = n, blocks, 128
+			share := Profile(cfg).AttnMLPShare()
+			if share < 0.55 || share > 0.98 {
+				t.Fatalf("N=%d L=%d: attn+mlp share %.3f outside plausible band", n, blocks, share)
+			}
+		}
+	}
+}
+
+func TestAttentionShareGrowsWithN(t *testing.T) {
+	// §2.2: with N ≫ D attention dominates; the share must increase with N.
+	cfg := transformer.Model3
+	cfg.N = 128
+	s1 := Profile(cfg).AttentionShare()
+	cfg.N = 256
+	s2 := Profile(cfg).AttentionShare()
+	if s2 <= s1 {
+		t.Fatalf("attention share must grow with N: %.3f -> %.3f", s1, s2)
+	}
+}
+
+func TestProjectionDominatesWhenDLarge(t *testing.T) {
+	// Model 1 (D=384 ≫ N=64): projections+MLP dominate attention.
+	b := Profile(transformer.Model1)
+	if b.Attention > b.Projection+b.MLP {
+		t.Fatal("attention should not dominate when D ≫ N")
+	}
+}
+
+func TestOpsFromTraceSparsityScaling(t *testing.T) {
+	cfg := transformer.Model4
+	sc := workload.Scenarios()[4]
+	base := OpsFromTrace(workload.SyntheticTrace(cfg, sc, workload.TraceOptions{}, 1))
+	bsa := OpsFromTrace(workload.SyntheticTrace(cfg, sc, workload.TraceOptions{BSA: true}, 1))
+	if bsa.Projection >= base.Projection || bsa.MLP >= base.MLP {
+		t.Fatal("BSA trace must need fewer synaptic ops")
+	}
+	if base.Total() <= 0 {
+		t.Fatal("no ops counted")
+	}
+}
+
+func TestTraceOpsFarBelowDenseFLOPs(t *testing.T) {
+	// Spike-driven op counts must be far below the dense FLOP count — the
+	// whole premise of SNN acceleration.
+	cfg := transformer.Model4
+	tr := workload.SyntheticTrace(cfg, workload.Scenarios()[4], workload.TraceOptions{}, 2)
+	ops := OpsFromTrace(tr)
+	flops := Profile(cfg)
+	if ops.Projection > flops.Projection/2 {
+		t.Fatalf("projection ops %.3g vs flops %.3g: sparsity not exploited",
+			ops.Projection, flops.Projection)
+	}
+}

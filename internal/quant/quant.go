@@ -1,0 +1,98 @@
+// Package quant implements the 8-bit weight quantization the Bishop
+// hardware assumes (§6.1 streams 8-bit weight data through the GLBs and
+// SAC/AAC datapaths). Weights are quantized per-tensor with a symmetric
+// power-of-two scale so dequantization on the accelerator is a bit shift,
+// matching the paper's shift-based scaling philosophy (Eq. 6). The package
+// also provides the accuracy-preservation check used by the examples: a
+// model quantized to int8 must classify like its float parent.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// QTensor is a symmetric int8 quantization of a weight matrix:
+// W ≈ Data · 2^Exp.
+type QTensor struct {
+	Rows, Cols int
+	Exp        int // power-of-two exponent of the scale
+	Data       []int8
+}
+
+// Quantize converts m into an int8 tensor with a power-of-two scale chosen
+// so the largest magnitude maps near the int8 boundary.
+func Quantize(m *tensor.Mat) *QTensor {
+	maxAbs := float64(m.MaxAbs())
+	exp := 0
+	if maxAbs > 0 {
+		// scale = 2^exp such that maxAbs/2^exp ≤ 127.
+		exp = int(math.Ceil(math.Log2(maxAbs / 127)))
+	}
+	scale := math.Pow(2, float64(exp))
+	q := &QTensor{Rows: m.Rows, Cols: m.Cols, Exp: exp, Data: make([]int8, len(m.Data))}
+	for i, v := range m.Data {
+		r := math.Round(float64(v) / scale)
+		if r > 127 {
+			r = 127
+		}
+		if r < -128 {
+			r = -128
+		}
+		q.Data[i] = int8(r)
+	}
+	return q
+}
+
+// Dequantize reconstructs the float matrix.
+func (q *QTensor) Dequantize() *tensor.Mat {
+	out := tensor.NewMat(q.Rows, q.Cols)
+	scale := float32(math.Pow(2, float64(q.Exp)))
+	for i, v := range q.Data {
+		out.Data[i] = float32(v) * scale
+	}
+	return out
+}
+
+// MaxError returns the maximum absolute reconstruction error, which is
+// bounded by half the scale step (plus clipping, which Quantize avoids by
+// construction).
+func (q *QTensor) MaxError(orig *tensor.Mat) float64 {
+	deq := q.Dequantize()
+	var worst float64
+	for i := range orig.Data {
+		if e := math.Abs(float64(orig.Data[i] - deq.Data[i])); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Bytes returns the storage footprint on the accelerator (1 byte/weight),
+// the quantity the hw package's WeightBytes constant assumes.
+func (q *QTensor) Bytes() int { return len(q.Data) }
+
+// QuantizeParams quantizes every parameter of a model in place (weights are
+// replaced by their dequantized int8 reconstruction), returning the total
+// int8 footprint. This is the software half of deploying a trained model
+// onto Bishop: after this call the float model computes exactly what the
+// 8-bit accelerator datapath would.
+func QuantizeParams(params []*snn.Param) (totalBytes int, maxErr float64) {
+	for _, p := range params {
+		q := Quantize(p.W)
+		totalBytes += q.Bytes()
+		if e := q.MaxError(p.W); e > maxErr {
+			maxErr = e
+		}
+		copy(p.W.Data, q.Dequantize().Data)
+	}
+	return totalBytes, maxErr
+}
+
+// String describes the quantized tensor.
+func (q *QTensor) String() string {
+	return fmt.Sprintf("QTensor{%dx%d int8, scale 2^%d}", q.Rows, q.Cols, q.Exp)
+}

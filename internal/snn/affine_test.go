@@ -1,0 +1,84 @@
+package snn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAffineForwardKnown(t *testing.T) {
+	a := NewAffine("a", 3, 2, 0.5)
+	x := tensor.FromSlice(2, 3, []float32{1, 2, 3, -1, 0, 1})
+	y := a.Forward([]*tensor.Mat{x})[0]
+	want := []float32{2.5, 4.5, 6.5, -1.5, 0.5, 2.5}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("y=%v want %v", y.Data, want)
+		}
+	}
+}
+
+func TestAffineGradNumeric(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	a := NewAffine("a", 4, 1.5, 0.2)
+	x := tensor.NewMat(3, 4)
+	rng.FillNormal(x, 1)
+	loss := func() float64 {
+		y := a.Forward([]*tensor.Mat{x})[0]
+		var s float64
+		for _, v := range y.Data {
+			s += float64(v) * float64(v)
+		}
+		return s
+	}
+	y := a.Forward([]*tensor.Mat{x})[0]
+	gy := y.Clone()
+	gy.ScaleInPlace(2)
+	a.Gamma.ZeroGrad()
+	a.Beta.ZeroGrad()
+	gx := a.Backward([]*tensor.Mat{gy})[0]
+
+	const eps = 1e-3
+	for d := 0; d < 4; d++ {
+		for _, p := range []*Param{a.Gamma, a.Beta} {
+			orig := p.W.Data[d]
+			p.W.Data[d] = orig + eps
+			lp := loss()
+			p.W.Data[d] = orig - eps
+			lm := loss()
+			p.W.Data[d] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-float64(p.Grad.Data[d])) > 1e-2*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %v numeric %v", p.Name, d, p.Grad.Data[d], num)
+			}
+		}
+	}
+	// dx = gy ⊙ γ
+	for i := range gx.Data {
+		want := gy.Data[i] * a.Gamma.W.Data[i%4]
+		if math.Abs(float64(gx.Data[i]-want)) > 1e-5 {
+			t.Fatalf("gx[%d]=%v want %v", i, gx.Data[i], want)
+		}
+	}
+}
+
+func TestAffineNilStepGrad(t *testing.T) {
+	a := NewAffine("a", 2, 1, 0)
+	x := tensor.NewMat(1, 2)
+	a.Forward([]*tensor.Mat{x, x})
+	gi := a.Backward([]*tensor.Mat{nil, nil})
+	if len(gi) != 2 || gi[0].Data[0] != 0 {
+		t.Fatal("nil step grads must yield zero input grads")
+	}
+}
+
+func TestAffineShapeGuard(t *testing.T) {
+	a := NewAffine("a", 3, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong width")
+		}
+	}()
+	a.Forward([]*tensor.Mat{tensor.NewMat(1, 4)})
+}

@@ -1,0 +1,217 @@
+package snn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution implemented with im2col, applied independently
+// per time step. Feature maps are represented as (H·W)×C matrices (pixel
+// rows, channel columns), which keeps the whole stack on the Mat type. The
+// spiking tokenizer of Fig. 2 and the spiking-CNN accuracy baseline in
+// Table 1 are built from this layer.
+type Conv2D struct {
+	InC, OutC      int
+	K, Stride, Pad int
+	Weight         *Param // (InC·K·K)×OutC
+	Bias           *Param
+
+	// forward caches
+	cols   []*tensor.Mat // im2col matrices per step
+	inH    int
+	inW    int
+	nSteps int
+}
+
+// NewConv2D constructs a convolution layer with Kaiming init.
+func NewConv2D(name string, inC, outC, k, stride, pad int, rng *tensor.RNG) *Conv2D {
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		Weight: NewParam(name+".w", inC*k*k, outC),
+		Bias:   NewParam(name+".b", 1, outC),
+	}
+	rng.FillKaiming(c.Weight.W, inC*k*k)
+	return c
+}
+
+// Params returns the trainable parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// OutDims returns the output spatial dimensions for an h×w input.
+func (c *Conv2D) OutDims(h, w int) (int, int) {
+	oh := (h+2*c.Pad-c.K)/c.Stride + 1
+	ow := (w+2*c.Pad-c.K)/c.Stride + 1
+	return oh, ow
+}
+
+// im2col expands x ((h·w)×InC) into a ((oh·ow)×(InC·K·K)) patch matrix.
+func (c *Conv2D) im2col(x *tensor.Mat, h, w int) *tensor.Mat {
+	oh, ow := c.OutDims(h, w)
+	col := tensor.NewMat(oh*ow, c.InC*c.K*c.K)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			dst := col.Row(oy*ow + ox)
+			idx := 0
+			for ch := 0; ch < c.InC; ch++ {
+				for ky := 0; ky < c.K; ky++ {
+					iy := oy*c.Stride + ky - c.Pad
+					for kx := 0; kx < c.K; kx++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							dst[idx] = x.At(iy*w+ix, ch)
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return col
+}
+
+// col2im scatters a patch-matrix gradient back to the input layout.
+func (c *Conv2D) col2im(gcol *tensor.Mat, h, w int) *tensor.Mat {
+	oh, ow := c.OutDims(h, w)
+	gx := tensor.NewMat(h*w, c.InC)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			src := gcol.Row(oy*ow + ox)
+			idx := 0
+			for ch := 0; ch < c.InC; ch++ {
+				for ky := 0; ky < c.K; ky++ {
+					iy := oy*c.Stride + ky - c.Pad
+					for kx := 0; kx < c.K; kx++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							gx.Data[(iy*w+ix)*c.InC+ch] += src[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return gx
+}
+
+// Forward convolves each step's feature map; h and w are the input spatial
+// dimensions shared by all steps. Returns the per-step outputs plus the
+// output dimensions.
+func (c *Conv2D) Forward(xs []*tensor.Mat, h, w int) ([]*tensor.Mat, int, int) {
+	oh, ow := c.OutDims(h, w)
+	c.cols = make([]*tensor.Mat, len(xs))
+	c.inH, c.inW, c.nSteps = h, w, len(xs)
+	out := make([]*tensor.Mat, len(xs))
+	for t, x := range xs {
+		if x.Rows != h*w || x.Cols != c.InC {
+			panic(fmt.Sprintf("snn: Conv2D input %dx%d want %dx%d", x.Rows, x.Cols, h*w, c.InC))
+		}
+		col := c.im2col(x, h, w)
+		c.cols[t] = col
+		y := tensor.NewMat(oh*ow, c.OutC)
+		tensor.MatMul(y, col, c.Weight.W)
+		for n := 0; n < y.Rows; n++ {
+			row := y.Row(n)
+			for j, b := range c.Bias.W.Data {
+				row[j] += b
+			}
+		}
+		out[t] = y
+	}
+	return out, oh, ow
+}
+
+// Backward accumulates weight/bias gradients and returns input gradients.
+func (c *Conv2D) Backward(gradOut []*tensor.Mat) []*tensor.Mat {
+	if c.cols == nil {
+		panic("snn: Conv2D.Backward before Forward")
+	}
+	gradIn := make([]*tensor.Mat, len(gradOut))
+	for t, gy := range gradOut {
+		if gy == nil {
+			gradIn[t] = tensor.NewMat(c.inH*c.inW, c.InC)
+			continue
+		}
+		tensor.MatTMulAcc(c.Weight.Grad, c.cols[t], gy)
+		for n := 0; n < gy.Rows; n++ {
+			row := gy.Row(n)
+			for j, v := range row {
+				c.Bias.Grad.Data[j] += v
+			}
+		}
+		gcol := tensor.NewMat(gy.Rows, c.InC*c.K*c.K)
+		tensor.MatMulT(gcol, gy, c.Weight.W)
+		gradIn[t] = c.col2im(gcol, c.inH, c.inW)
+	}
+	return gradIn
+}
+
+// AvgPool2D is a non-parametric s×s average pooling over (H·W)×C maps,
+// used by the spiking-CNN baseline between conv stages.
+type AvgPool2D struct {
+	S        int
+	inH, inW int
+	inC      int
+	steps    int
+}
+
+// NewAvgPool2D returns an s×s average pool.
+func NewAvgPool2D(s int) *AvgPool2D { return &AvgPool2D{S: s} }
+
+// Forward pools each step; input h×w must be divisible by S.
+func (p *AvgPool2D) Forward(xs []*tensor.Mat, h, w int) ([]*tensor.Mat, int, int) {
+	if h%p.S != 0 || w%p.S != 0 {
+		panic(fmt.Sprintf("snn: AvgPool2D %dx%d not divisible by %d", h, w, p.S))
+	}
+	oh, ow := h/p.S, w/p.S
+	p.inH, p.inW, p.steps = h, w, len(xs)
+	out := make([]*tensor.Mat, len(xs))
+	for t, x := range xs {
+		c := x.Cols
+		p.inC = c
+		y := tensor.NewMat(oh*ow, c)
+		inv := 1 / float32(p.S*p.S)
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := y.Row(oy*ow + ox)
+				for dy := 0; dy < p.S; dy++ {
+					for dx := 0; dx < p.S; dx++ {
+						src := x.Row((oy*p.S+dy)*w + ox*p.S + dx)
+						for ch := 0; ch < c; ch++ {
+							dst[ch] += src[ch] * inv
+						}
+					}
+				}
+			}
+		}
+		out[t] = y
+	}
+	return out, oh, ow
+}
+
+// Backward distributes gradients uniformly over each pooling window.
+func (p *AvgPool2D) Backward(gradOut []*tensor.Mat) []*tensor.Mat {
+	oh, ow := p.inH/p.S, p.inW/p.S
+	gradIn := make([]*tensor.Mat, len(gradOut))
+	inv := 1 / float32(p.S*p.S)
+	for t, gy := range gradOut {
+		gx := tensor.NewMat(p.inH*p.inW, p.inC)
+		if gy != nil {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					src := gy.Row(oy*ow + ox)
+					for dy := 0; dy < p.S; dy++ {
+						for dx := 0; dx < p.S; dx++ {
+							dst := gx.Row((oy*p.S+dy)*p.inW + ox*p.S + dx)
+							for ch := range src {
+								dst[ch] += src[ch] * inv
+							}
+						}
+					}
+				}
+			}
+		}
+		gradIn[t] = gx
+	}
+	return gradIn
+}

@@ -1,0 +1,49 @@
+package snn
+
+import (
+	"repro/internal/spike"
+	"repro/internal/tensor"
+)
+
+// DirectEncode repeats a static input as a constant synaptic current over T
+// time steps — the "direct encoding" used by low-latency spiking
+// transformers (the first LIF layer converts the current into spikes). The
+// input x is shared, not copied, across steps.
+func DirectEncode(x *tensor.Mat, T int) []*tensor.Mat {
+	out := make([]*tensor.Mat, T)
+	for t := range out {
+		out[t] = x
+	}
+	return out
+}
+
+// RateEncode converts pixel intensities in [0,1] into Bernoulli spike trains
+// with firing probability equal to the intensity — the classical Poisson/rate
+// encoding, provided for the spiking-CNN baseline experiments.
+func RateEncode(x *tensor.Mat, T int, rng *tensor.RNG) *spike.Tensor {
+	s := spike.NewTensor(T, x.Rows, x.Cols)
+	for t := 0; t < T; t++ {
+		for n := 0; n < x.Rows; n++ {
+			for d := 0; d < x.Cols; d++ {
+				if rng.Float32() < x.At(n, d) {
+					s.Set(t, n, d, true)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// SpikesToMats materializes a binary spike tensor as per-step float matrices,
+// the representation consumed by Linear/Conv2D layers.
+func SpikesToMats(s *spike.Tensor) []*tensor.Mat {
+	out := make([]*tensor.Mat, s.T)
+	buf := make([]float32, s.N*s.D)
+	for t := 0; t < s.T; t++ {
+		s.TimeSlice(t, buf)
+		m := tensor.NewMat(s.N, s.D)
+		copy(m.Data, buf)
+		out[t] = m
+	}
+	return out
+}

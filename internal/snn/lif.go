@@ -1,0 +1,130 @@
+package snn
+
+import (
+	"fmt"
+
+	"repro/internal/spike"
+	"repro/internal/tensor"
+)
+
+// LIFConfig parameterizes a layer of leaky integrate-and-fire neurons.
+type LIFConfig struct {
+	Vth       float32 // firing threshold (Eq. 2)
+	Leak      float32 // constant leak subtracted per step (Eq. 1)
+	SurrWidth float32 // half-width of the rectangular surrogate gradient window
+}
+
+// DefaultLIF is the configuration used throughout the model zoo. A threshold
+// of 1 and a modest leak match the discretized dynamics in §2.1; the
+// surrogate width follows the common rectangle-window choice for
+// direct-trained SNNs.
+func DefaultLIF() LIFConfig {
+	return LIFConfig{Vth: 1.0, Leak: 0.0625, SurrWidth: 1.0}
+}
+
+// LIF is a layer of N×D leaky integrate-and-fire neurons unrolled over T
+// time steps. Forward integrates input currents into membrane potentials and
+// emits binary spikes with reset-to-zero on firing; Backward implements BPTT
+// with a rectangular surrogate derivative for the threshold function. The
+// reset path is detached in the backward pass (the standard stabilization
+// for direct SNN training).
+type LIF struct {
+	Cfg LIFConfig
+
+	// forward caches
+	t, n, d int
+	vpre    []*tensor.Mat // membrane potential before thresholding, per step
+	out     *spike.Tensor
+}
+
+// NewLIF returns an LIF layer with the given configuration.
+func NewLIF(cfg LIFConfig) *LIF { return &LIF{Cfg: cfg} }
+
+// Forward integrates the per-step input currents (each N×D) and returns the
+// binary spike tensor. The caches needed by Backward are retained until the
+// next Forward call.
+func (l *LIF) Forward(currents []*tensor.Mat) *spike.Tensor {
+	if len(currents) == 0 {
+		panic("snn: LIF.Forward with no time steps")
+	}
+	T := len(currents)
+	N, D := currents[0].Rows, currents[0].Cols
+	l.t, l.n, l.d = T, N, D
+	l.vpre = make([]*tensor.Mat, T)
+	l.out = spike.NewTensor(T, N, D)
+
+	vpost := tensor.NewMat(N, D)
+	for t := 0; t < T; t++ {
+		cur := currents[t]
+		if cur.Rows != N || cur.Cols != D {
+			panic(fmt.Sprintf("snn: LIF step %d shape %dx%d want %dx%d", t, cur.Rows, cur.Cols, N, D))
+		}
+		vp := tensor.NewMat(N, D)
+		for i := range vp.Data {
+			vp.Data[i] = vpost.Data[i] + cur.Data[i] - l.Cfg.Leak
+		}
+		l.vpre[t] = vp
+		for n := 0; n < N; n++ {
+			for d := 0; d < D; d++ {
+				v := vp.At(n, d)
+				if v > l.Cfg.Vth {
+					l.out.Set(t, n, d, true)
+					vpost.Set(n, d, 0)
+				} else {
+					vpost.Set(n, d, v)
+				}
+			}
+		}
+	}
+	return l.out
+}
+
+// Output returns the spike tensor produced by the last Forward.
+func (l *LIF) Output() *spike.Tensor { return l.out }
+
+// Backward propagates gradients w.r.t. the output spikes (one N×D matrix per
+// step; nil entries are treated as zero) back to gradients w.r.t. the input
+// currents.
+func (l *LIF) Backward(gradOut []*tensor.Mat) []*tensor.Mat {
+	if l.out == nil {
+		panic("snn: LIF.Backward before Forward")
+	}
+	T, N, D := l.t, l.n, l.d
+	if len(gradOut) != T {
+		panic(fmt.Sprintf("snn: LIF.Backward got %d steps want %d", len(gradOut), T))
+	}
+	gradIn := make([]*tensor.Mat, T)
+	gvpost := tensor.NewMat(N, D) // dL/dvpost[t], flowing backward in time
+	w := l.Cfg.SurrWidth
+	surrScale := 1 / (2 * w)
+	for t := T - 1; t >= 0; t-- {
+		gi := tensor.NewMat(N, D)
+		vp := l.vpre[t]
+		go_ := gradOut[t]
+		for n := 0; n < N; n++ {
+			for d := 0; d < D; d++ {
+				idx := n*D + d
+				var gs float32
+				if go_ != nil {
+					gs = go_.Data[idx]
+				}
+				v := vp.Data[idx]
+				// surrogate derivative of the Heaviside threshold
+				var surr float32
+				if v > l.Cfg.Vth-w && v < l.Cfg.Vth+w {
+					surr = surrScale
+				}
+				var fired float32
+				if l.out.Get(t, n, d) {
+					fired = 1
+				}
+				// dL/dvpre = dL/dvpost·(1-S) + dL/dS·surr'  (reset detached)
+				gvpre := gvpost.Data[idx]*(1-fired) + gs*surr
+				gi.Data[idx] = gvpre
+				gvpost.Data[idx] = gvpre // carried to t-1 (dvpre[t]/dvpost[t-1] = 1)
+			}
+		}
+		gradIn[t] = gi
+	}
+	return gradIn
+}

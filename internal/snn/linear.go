@@ -1,0 +1,108 @@
+package snn
+
+import (
+	"fmt"
+
+	"repro/internal/spike"
+	"repro/internal/tensor"
+)
+
+// Linear is a fully connected projection y = x·W (+b), applied independently
+// at every time step. In a spiking transformer the input x is binary (spikes
+// from a preceding LIF layer), which is what lets the Bishop hardware replace
+// multipliers with select-accumulate units; the layer itself also accepts
+// float inputs (used by the tokenizer on raw pixels).
+type Linear struct {
+	In, Out int
+	Weight  *Param
+	Bias    *Param // nil when the layer is bias-free
+
+	// forward cache: inputs per time step, for the weight gradient
+	xs []*tensor.Mat
+}
+
+// NewLinear constructs an in×out projection with Kaiming-uniform init.
+func NewLinear(name string, in, out int, bias bool, rng *tensor.RNG) *Linear {
+	l := &Linear{In: in, Out: out, Weight: NewParam(name+".w", in, out)}
+	rng.FillKaiming(l.Weight.W, in)
+	if bias {
+		l.Bias = NewParam(name+".b", 1, out)
+	}
+	return l
+}
+
+// Params returns the trainable parameters of the layer.
+func (l *Linear) Params() []*Param {
+	if l.Bias != nil {
+		return []*Param{l.Weight, l.Bias}
+	}
+	return []*Param{l.Weight}
+}
+
+// Forward applies the projection at every step. The inputs are cached for
+// Backward.
+func (l *Linear) Forward(xs []*tensor.Mat) []*tensor.Mat {
+	l.xs = xs
+	out := make([]*tensor.Mat, len(xs))
+	for t, x := range xs {
+		if x.Cols != l.In {
+			panic(fmt.Sprintf("snn: Linear %s input cols %d want %d", l.Weight.Name, x.Cols, l.In))
+		}
+		y := tensor.NewMat(x.Rows, l.Out)
+		tensor.MatMul(y, x, l.Weight.W)
+		if l.Bias != nil {
+			for n := 0; n < y.Rows; n++ {
+				row := y.Row(n)
+				for j, b := range l.Bias.W.Data {
+					row[j] += b
+				}
+			}
+		}
+		out[t] = y
+	}
+	return out
+}
+
+// ForwardSpikes is Forward with a binary spike tensor input; it materializes
+// each time slice and reuses Forward, returning the synaptic currents.
+func (l *Linear) ForwardSpikes(s *spike.Tensor) []*tensor.Mat {
+	xs := make([]*tensor.Mat, s.T)
+	buf := make([]float32, s.N*s.D)
+	for t := 0; t < s.T; t++ {
+		s.TimeSlice(t, buf)
+		m := tensor.NewMat(s.N, s.D)
+		copy(m.Data, buf)
+		xs[t] = m
+	}
+	return l.Forward(xs)
+}
+
+// Backward accumulates the weight (and bias) gradients from the per-step
+// output gradients and returns the per-step input gradients.
+func (l *Linear) Backward(gradOut []*tensor.Mat) []*tensor.Mat {
+	if l.xs == nil {
+		panic("snn: Linear.Backward before Forward")
+	}
+	gradIn := make([]*tensor.Mat, len(gradOut))
+	for t, gy := range gradOut {
+		if gy == nil {
+			gradIn[t] = tensor.NewMat(l.xs[t].Rows, l.In)
+			continue
+		}
+		// dW += xᵀ·gy
+		tensor.MatTMulAcc(l.Weight.Grad, l.xs[t], gy)
+		if l.Bias != nil {
+			for n := 0; n < gy.Rows; n++ {
+				row := gy.Row(n)
+				for j, v := range row {
+					l.Bias.Grad.Data[j] += v
+				}
+			}
+		}
+		// dx = gy·Wᵀ
+		gx := tensor.NewMat(gy.Rows, l.In)
+		tensor.MatMulT(gx, gy, l.Weight.W)
+		gradIn[t] = gx
+	}
+	return gradIn
+}

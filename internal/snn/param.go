@@ -1,0 +1,34 @@
+// Package snn implements the spiking-neural-network layer substrate: the
+// leaky integrate-and-fire (LIF) neuron model of Eq. 1–2 with a
+// surrogate-gradient backward pass for BPTT training, plus the linear and
+// convolutional layers a spiking transformer is built from. All layers carry
+// their own forward caches so a model is trained by calling Forward then
+// Backward in reverse layer order, and exposing Params() to an optimizer.
+package snn
+
+import "repro/internal/tensor"
+
+// Param is a trainable weight matrix together with its gradient accumulator.
+// Optimizers update W in place from Grad and then call ZeroGrad.
+type Param struct {
+	Name string
+	W    *tensor.Mat
+	Grad *tensor.Mat
+}
+
+// NewParam allocates a named rows×cols parameter with a zero gradient.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: tensor.NewMat(rows, cols), Grad: tensor.NewMat(rows, cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// GradL2 returns the squared L2 norm of the gradient, used for clipping.
+func (p *Param) GradL2() float64 {
+	var s float64
+	for _, v := range p.Grad.Data {
+		s += float64(v) * float64(v)
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+package snn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// savedParam is the on-disk form of one parameter.
+type savedParam struct {
+	Name       string
+	Rows, Cols int
+	Data       []float32
+}
+
+// SaveParams serializes a parameter set (weights only — gradients and
+// optimizer state are transient) so a model trained by cmd/trainsnn can be
+// reloaded for accelerator-simulation runs.
+func SaveParams(w io.Writer, params []*Param) error {
+	out := make([]savedParam, len(params))
+	for i, p := range params {
+		out[i] = savedParam{Name: p.Name, Rows: p.W.Rows, Cols: p.W.Cols, Data: p.W.Data}
+	}
+	return gob.NewEncoder(w).Encode(out)
+}
+
+// LoadParams restores weights by parameter name into an identically
+// structured parameter set (e.g. a model built with the same config).
+// Every destination parameter must be present with matching shape.
+func LoadParams(r io.Reader, params []*Param) error {
+	var in []savedParam
+	if err := gob.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("snn: decode params: %w", err)
+	}
+	byName := make(map[string]savedParam, len(in))
+	for _, s := range in {
+		byName[s.Name] = s
+	}
+	for _, p := range params {
+		s, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("snn: parameter %q missing from saved set", p.Name)
+		}
+		if s.Rows != p.W.Rows || s.Cols != p.W.Cols {
+			return fmt.Errorf("snn: parameter %q shape %dx%d, saved %dx%d",
+				p.Name, p.W.Rows, p.W.Cols, s.Rows, s.Cols)
+		}
+		copy(p.W.Data, s.Data)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package snn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	a := NewParam("a", 3, 4)
+	b := NewParam("b", 2, 2)
+	rng.FillNormal(a.W, 1)
+	rng.FillNormal(b.W, 1)
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, []*Param{a, b}); err != nil {
+		t.Fatal(err)
+	}
+
+	a2 := NewParam("a", 3, 4)
+	b2 := NewParam("b", 2, 2)
+	if err := LoadParams(&buf, []*Param{a2, b2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.W.Data {
+		if a.W.Data[i] != a2.W.Data[i] {
+			t.Fatal("a not restored")
+		}
+	}
+	for i := range b.W.Data {
+		if b.W.Data[i] != b2.W.Data[i] {
+			t.Fatal("b not restored")
+		}
+	}
+}
+
+func TestLoadMissingParam(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, []*Param{NewParam("x", 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, []*Param{NewParam("y", 1, 1)}); err == nil {
+		t.Fatal("expected missing-parameter error")
+	}
+}
+
+func TestLoadShapeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, []*Param{NewParam("x", 2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, []*Param{NewParam("x", 2, 3)}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if err := LoadParams(bytes.NewReader([]byte("junk")), nil); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

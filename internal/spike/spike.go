@@ -1,0 +1,194 @@
+// Package spike implements binary spike tensors, the fundamental data type of
+// a spiking transformer. A Tensor holds the firing outputs of a layer of LIF
+// neurons over T time points, N tokens, and D features, backed by a bitset so
+// that large activation maps stay compact and popcount-style statistics —
+// which drive the entire Bishop hardware model — are cheap.
+//
+// Index order is (t, n, d): feature d varies fastest. This matches the
+// Token-Time-Bundle layout in the paper (Fig. 4), where a bundle packs BSn
+// tokens × BSt time points for one feature.
+package spike
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Tensor is a binary activation tensor of shape T×N×D.
+type Tensor struct {
+	T, N, D int
+	words   []uint64
+}
+
+// NewTensor returns an all-zero spike tensor of the given shape.
+func NewTensor(t, n, d int) *Tensor {
+	if t <= 0 || n <= 0 || d <= 0 {
+		panic(fmt.Sprintf("spike: invalid shape %dx%dx%d", t, n, d))
+	}
+	total := t * n * d
+	return &Tensor{T: t, N: n, D: d, words: make([]uint64, (total+63)/64)}
+}
+
+func (s *Tensor) index(t, n, d int) int {
+	if t < 0 || t >= s.T || n < 0 || n >= s.N || d < 0 || d >= s.D {
+		panic(fmt.Sprintf("spike: index (%d,%d,%d) out of %dx%dx%d", t, n, d, s.T, s.N, s.D))
+	}
+	return (t*s.N+n)*s.D + d
+}
+
+// Get reports whether the neuron at (t, n, d) fired.
+func (s *Tensor) Get(t, n, d int) bool {
+	i := s.index(t, n, d)
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set assigns the firing bit at (t, n, d).
+func (s *Tensor) Set(t, n, d int, v bool) {
+	i := s.index(t, n, d)
+	if v {
+		s.words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		s.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Count returns the total number of spikes in the tensor.
+func (s *Tensor) Count() int {
+	var c int
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Density returns the fraction of set bits in [0,1].
+func (s *Tensor) Density() float64 {
+	return float64(s.Count()) / float64(s.T*s.N*s.D)
+}
+
+// Clone returns a deep copy.
+func (s *Tensor) Clone() *Tensor {
+	out := NewTensor(s.T, s.N, s.D)
+	copy(out.words, s.words)
+	return out
+}
+
+// Zero clears every spike.
+func (s *Tensor) Zero() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// CountToken returns the number of spikes for token n at time t across all
+// features (the per-token firing count used by ECP row statistics).
+func (s *Tensor) CountToken(t, n int) int {
+	var c int
+	for d := 0; d < s.D; d++ {
+		if s.Get(t, n, d) {
+			c++
+		}
+	}
+	return c
+}
+
+// CountFeature returns the number of spikes on feature d across all tokens
+// and time points (the per-feature column activity used by the stratifier).
+func (s *Tensor) CountFeature(d int) int {
+	var c int
+	for t := 0; t < s.T; t++ {
+		for n := 0; n < s.N; n++ {
+			if s.Get(t, n, d) {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// CountBlock returns the number of spikes for feature d over tokens
+// [n0,n1) and time points [t0,t1), clamped to the tensor bounds. This is the
+// L0 bundle-activity tag of Eq. 9.
+func (s *Tensor) CountBlock(t0, t1, n0, n1, d int) int {
+	if t1 > s.T {
+		t1 = s.T
+	}
+	if n1 > s.N {
+		n1 = s.N
+	}
+	var c int
+	for t := t0; t < t1; t++ {
+		for n := n0; n < n1; n++ {
+			if s.Get(t, n, d) {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// TimeSlice copies the spikes at time t into dst as a float N×D matrix
+// (1.0 where fired). dst must have N rows and D cols; it is overwritten.
+func (s *Tensor) TimeSlice(t int, dst []float32) {
+	if len(dst) != s.N*s.D {
+		panic(fmt.Sprintf("spike: TimeSlice dst len %d want %d", len(dst), s.N*s.D))
+	}
+	for n := 0; n < s.N; n++ {
+		for d := 0; d < s.D; d++ {
+			if s.Get(t, n, d) {
+				dst[n*s.D+d] = 1
+			} else {
+				dst[n*s.D+d] = 0
+			}
+		}
+	}
+}
+
+// SetTimeSlice sets the spikes at time t from a thresholded float N×D matrix:
+// any value > 0.5 is a spike.
+func (s *Tensor) SetTimeSlice(t int, src []float32) {
+	if len(src) != s.N*s.D {
+		panic(fmt.Sprintf("spike: SetTimeSlice src len %d want %d", len(src), s.N*s.D))
+	}
+	for n := 0; n < s.N; n++ {
+		for d := 0; d < s.D; d++ {
+			s.Set(t, n, d, src[n*s.D+d] > 0.5)
+		}
+	}
+}
+
+// Rate returns the mean firing rate per (token, feature) pair averaged over
+// time, as an N×D row-major slice. Used by the rate-decoding classifier head.
+func (s *Tensor) Rate() []float32 {
+	out := make([]float32, s.N*s.D)
+	inv := 1 / float32(s.T)
+	for t := 0; t < s.T; t++ {
+		for n := 0; n < s.N; n++ {
+			for d := 0; d < s.D; d++ {
+				if s.Get(t, n, d) {
+					out[n*s.D+d] += inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports whether two tensors have identical shape and contents.
+func (s *Tensor) Equal(o *Tensor) bool {
+	if s.T != o.T || s.N != o.N || s.D != o.D {
+		return false
+	}
+	for i, w := range s.words {
+		if o.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the tensor for logs.
+func (s *Tensor) String() string {
+	return fmt.Sprintf("spike.Tensor{T:%d N:%d D:%d spikes:%d density:%.3f}",
+		s.T, s.N, s.D, s.Count(), s.Density())
+}

@@ -1,0 +1,83 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic xorshift64* generator used for weight
+// initialization and synthetic data generation. It is reproducible across
+// platforms (unlike math/rand's global source when seeded implicitly) and
+// cheap enough to embed per-module.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed (0 is remapped to a fixed
+// non-zero value because xorshift has an all-zero fixed point).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Float32 returns a uniform value in [0,1).
+func (r *RNG) Float32() float32 { return float32(r.Float64()) }
+
+// Intn returns a uniform value in [0,n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal sample (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a random permutation of [0,n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// FillKaiming initializes m with Kaiming-uniform values for fan-in fanIn,
+// the standard init for layers feeding (binary-input) linear projections.
+func (r *RNG) FillKaiming(m *Mat, fanIn int) {
+	bound := float32(math.Sqrt(6 / float64(fanIn)))
+	for i := range m.Data {
+		m.Data[i] = (r.Float32()*2 - 1) * bound
+	}
+}
+
+// FillNormal initializes m with N(0, std²) values.
+func (r *RNG) FillNormal(m *Mat, std float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(r.NormFloat64() * std)
+	}
+}

@@ -1,0 +1,267 @@
+// Package tensor provides the minimal dense float32 linear-algebra kernels
+// used by the spiking-transformer substrate: row-major matrices, matrix
+// products (including transposed variants), element-wise maps, and a small
+// deterministic RNG for weight initialization.
+//
+// The package is intentionally tiny and allocation-conscious: the training
+// loop calls these kernels inside BPTT over T time steps, so all hot paths
+// operate on pre-allocated destination matrices.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major float32 matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMat returns a zeroed rows×cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dims %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (len must equal rows*cols) without copying.
+func FromSlice(rows, cols int, data []float32) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i,j).
+func (m *Mat) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Mat) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (no copy).
+func (m *Mat) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Mat) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// AddInPlace computes m += b.
+func (m *Mat) AddInPlace(b *Mat) {
+	mustSameShape(m, b)
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+}
+
+// SubInPlace computes m -= b.
+func (m *Mat) SubInPlace(b *Mat) {
+	mustSameShape(m, b)
+	for i, v := range b.Data {
+		m.Data[i] -= v
+	}
+}
+
+// ScaleInPlace computes m *= s.
+func (m *Mat) ScaleInPlace(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AXPY computes m += s*b.
+func (m *Mat) AXPY(s float32, b *Mat) {
+	mustSameShape(m, b)
+	for i, v := range b.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Sum returns the sum of all elements.
+func (m *Mat) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// MaxAbs returns the maximum absolute element value.
+func (m *Mat) MaxAbs() float32 {
+	var mx float32
+	for _, v := range m.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+func mustSameShape(a, b *Mat) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// MatMul computes dst = a·b. dst must be a.Rows×b.Cols and is overwritten.
+// dst must not alias a or b.
+func MatMul(dst, a, b *Mat) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul inner dim %d vs %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	MatMulAcc(dst, a, b)
+}
+
+// MatMulAcc computes dst += a·b without zeroing dst first.
+func MatMulAcc(dst, a, b *Mat) {
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			if av == 1 {
+				for j, bv := range brow {
+					drow[j] += bv
+				}
+				continue
+			}
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT computes dst = a·bᵀ. dst must be a.Rows×b.Rows.
+func MatMulT(dst, a, b *Mat) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT inner dim %d vs %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulT dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// MatTMul computes dst = aᵀ·b. dst must be a.Cols×b.Cols.
+func MatTMul(dst, a, b *Mat) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matTmul inner dim %d vs %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matTmul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	MatTMulAcc(dst, a, b)
+}
+
+// MatTMulAcc computes dst += aᵀ·b.
+func MatTMulAcc(dst, a, b *Mat) {
+	n := b.Cols
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Data[r*n : r*n+n]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(k)
+			if av == 1 {
+				for j, bv := range brow {
+					drow[j] += bv
+				}
+				continue
+			}
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns aᵀ as a new matrix.
+func Transpose(a *Mat) *Mat {
+	out := NewMat(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return out
+}
+
+// Softmax applies a numerically stable row-wise softmax in place.
+func Softmax(m *Mat) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - mx)))
+			row[j] = e
+			sum += float64(e)
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// ArgmaxRow returns the index of the maximum element of row i.
+func (m *Mat) ArgmaxRow(i int) int {
+	row := m.Row(i)
+	best, bv := 0, row[0]
+	for j, v := range row[1:] {
+		if v > bv {
+			best, bv = j+1, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,287 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatShape(t *testing.T) {
+	m := NewMat(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("got %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2)=%v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Fatalf("Row view broken: %v", row)
+	}
+	row[0] = 5
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must be a view, not a copy")
+	}
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad length")
+		}
+	}()
+	FromSlice(2, 2, []float32{1, 2, 3})
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	dst := NewMat(2, 2)
+	MatMul(dst, a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if dst.Data[i] != w {
+			t.Fatalf("dst=%v want %v", dst.Data, want)
+		}
+	}
+}
+
+func TestMatMulBinaryFastPath(t *testing.T) {
+	// Binary a exercises the av==1 fast path; result must match generic path.
+	rng := NewRNG(1)
+	a := NewMat(5, 7)
+	for i := range a.Data {
+		if rng.Float32() < 0.4 {
+			a.Data[i] = 1
+		}
+	}
+	b := NewMat(7, 6)
+	rng.FillNormal(b, 1)
+	dst := NewMat(5, 6)
+	MatMul(dst, a, b)
+	ref := NewMat(5, 6)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 6; j++ {
+			var s float32
+			for k := 0; k < 7; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			ref.Set(i, j, s)
+		}
+	}
+	for i := range dst.Data {
+		if math.Abs(float64(dst.Data[i]-ref.Data[i])) > 1e-5 {
+			t.Fatalf("elem %d: %v vs %v", i, dst.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestMatMulTAndMatTMulAgreeWithTranspose(t *testing.T) {
+	rng := NewRNG(2)
+	a := NewMat(4, 5)
+	b := NewMat(3, 5) // for a·bᵀ
+	rng.FillNormal(a, 1)
+	rng.FillNormal(b, 1)
+
+	got := NewMat(4, 3)
+	MatMulT(got, a, b)
+	want := NewMat(4, 3)
+	MatMul(want, a, Transpose(b))
+	for i := range got.Data {
+		if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
+			t.Fatalf("MatMulT mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	c := NewMat(4, 6)
+	rng.FillNormal(c, 1)
+	got2 := NewMat(5, 6)
+	MatTMul(got2, a, c)
+	want2 := NewMat(5, 6)
+	MatMul(want2, Transpose(a), c)
+	for i := range got2.Data {
+		if math.Abs(float64(got2.Data[i]-want2.Data[i])) > 1e-4 {
+			t.Fatalf("MatTMul mismatch at %d: %v vs %v", i, got2.Data[i], want2.Data[i])
+		}
+	}
+}
+
+func TestMatMulAccAccumulates(t *testing.T) {
+	a := FromSlice(1, 2, []float32{1, 1})
+	b := FromSlice(2, 1, []float32{2, 3})
+	dst := FromSlice(1, 1, []float32{10})
+	MatMulAcc(dst, a, b)
+	if dst.Data[0] != 15 {
+		t.Fatalf("got %v want 15", dst.Data[0])
+	}
+}
+
+func TestAddSubScaleAXPY(t *testing.T) {
+	a := FromSlice(1, 3, []float32{1, 2, 3})
+	b := FromSlice(1, 3, []float32{4, 5, 6})
+	a.AddInPlace(b)
+	if a.Data[2] != 9 {
+		t.Fatalf("add: %v", a.Data)
+	}
+	a.SubInPlace(b)
+	if a.Data[2] != 3 {
+		t.Fatalf("sub: %v", a.Data)
+	}
+	a.ScaleInPlace(2)
+	if a.Data[0] != 2 {
+		t.Fatalf("scale: %v", a.Data)
+	}
+	a.AXPY(0.5, b)
+	if a.Data[1] != 4+2.5 {
+		t.Fatalf("axpy: %v", a.Data)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, -100, 0, 100})
+	Softmax(m)
+	for i := 0; i < 2; i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+	if m.ArgmaxRow(1) != 2 {
+		t.Fatalf("argmax: %d", m.ArgmaxRow(1))
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewMat(r, c)
+		rng.FillNormal(m, 1)
+		tt := Transpose(Transpose(m))
+		for i := range m.Data {
+			if m.Data[i] != tt.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulAssociativeWithIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 1 + rng.Intn(6)
+		m := NewMat(n, n)
+		rng.FillNormal(m, 1)
+		id := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			id.Set(i, i, 1)
+		}
+		out := NewMat(n, n)
+		MatMul(out, m, id)
+		for i := range m.Data {
+			if math.Abs(float64(out.Data[i]-m.Data[i])) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	var sum, sq float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 || math.Abs(variance-1) > 0.1 {
+		t.Fatalf("mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestFillKaimingBound(t *testing.T) {
+	r := NewRNG(13)
+	m := NewMat(10, 10)
+	r.FillKaiming(m, 100)
+	bound := float32(math.Sqrt(6.0 / 100))
+	for _, v := range m.Data {
+		if v < -bound || v > bound {
+			t.Fatalf("value %v outside ±%v", v, bound)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromSlice(1, 2, []float32{1, 2})
+	c := m.Clone()
+	c.Data[0] = 9
+	if m.Data[0] != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestSumMaxAbs(t *testing.T) {
+	m := FromSlice(1, 4, []float32{1, -5, 2, 0})
+	if m.Sum() != -2 {
+		t.Fatalf("sum=%v", m.Sum())
+	}
+	if m.MaxAbs() != 5 {
+		t.Fatalf("maxabs=%v", m.MaxAbs())
+	}
+}

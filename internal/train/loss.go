@@ -1,0 +1,29 @@
+package train
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCE computes the softmax cross-entropy loss of a 1×C logits row
+// against an integer label, returning the loss and dL/dlogits.
+func SoftmaxCE(logits *tensor.Mat, label int) (float64, *tensor.Mat) {
+	if logits.Rows != 1 {
+		panic("train: SoftmaxCE expects a single logits row")
+	}
+	if label < 0 || label >= logits.Cols {
+		panic("train: label out of range")
+	}
+	probs := logits.Clone()
+	tensor.Softmax(probs)
+	loss := -math.Log(float64(probs.Data[label]) + 1e-12)
+	grad := probs
+	grad.Data[label] -= 1
+	return loss, grad
+}
+
+// Accuracy reports whether the logits' argmax equals the label.
+func Accuracy(logits *tensor.Mat, label int) bool {
+	return logits.ArgmaxRow(0) == label
+}

@@ -1,0 +1,110 @@
+// Package train provides the pure-Go training pipeline for spiking
+// transformers: optimizers (SGD-with-momentum and AdamW), the softmax
+// cross-entropy task loss, gradient clipping, and the epoch driver that
+// implements the paper's three training modes — baseline, Bundle-Sparsity-
+// Aware (BSA, §4.1), and ECP-aware (§5.1) training.
+package train
+
+import (
+	"math"
+
+	"repro/internal/snn"
+)
+
+// Optimizer updates parameters in place from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched (callers zero
+	// them explicitly between batches).
+	Step(params []*snn.Param)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	vel      map[*snn.Param][]float32
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: map[*snn.Param][]float32{}}
+}
+
+// Step applies one SGD update.
+func (o *SGD) Step(params []*snn.Param) {
+	for _, p := range params {
+		v := o.vel[p]
+		if v == nil {
+			v = make([]float32, len(p.W.Data))
+			o.vel[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			v[i] = o.Momentum*v[i] - o.LR*g
+			p.W.Data[i] += v[i]
+		}
+	}
+}
+
+// AdamW is Adam with decoupled weight decay, the optimizer used for the
+// spiking-transformer training runs.
+type AdamW struct {
+	LR, Beta1, Beta2, Eps, WeightDecay float32
+
+	t int
+	m map[*snn.Param][]float32
+	v map[*snn.Param][]float32
+}
+
+// NewAdamW returns an AdamW optimizer with standard betas.
+func NewAdamW(lr, weightDecay float32) *AdamW {
+	return &AdamW{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		WeightDecay: weightDecay,
+		m:           map[*snn.Param][]float32{}, v: map[*snn.Param][]float32{}}
+}
+
+// Step applies one AdamW update.
+func (o *AdamW) Step(params []*snn.Param) {
+	o.t++
+	bc1 := 1 - float32(math.Pow(float64(o.Beta1), float64(o.t)))
+	bc2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.t)))
+	for _, p := range params {
+		m, v := o.m[p], o.v[p]
+		if m == nil {
+			m = make([]float32, len(p.W.Data))
+			v = make([]float32, len(p.W.Data))
+			o.m[p], o.v[p] = m, v
+		}
+		for i, g := range p.Grad.Data {
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p.W.Data[i] -= o.LR * (mh/(float32(math.Sqrt(float64(vh)))+o.Eps) +
+				o.WeightDecay*p.W.Data[i])
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm.
+func ClipGradNorm(params []*snn.Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		sq += p.GradL2()
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			p.Grad.ScaleInPlace(scale)
+		}
+	}
+	return norm
+}
+
+// ZeroGrads clears every parameter gradient.
+func ZeroGrads(params []*snn.Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}

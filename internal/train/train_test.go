@@ -1,0 +1,163 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/dataset"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+	"repro/internal/transformer"
+)
+
+func tinyModel(seed uint64) *transformer.Model {
+	cfg := transformer.Config{Name: "t", Blocks: 2, T: 4, N: 16, D: 32,
+		Heads: 4, MLPRatio: 2, PatchDim: 12, Classes: 10, LIF: snn.DefaultLIF()}
+	return transformer.NewModel(cfg, seed)
+}
+
+func TestSoftmaxCEKnown(t *testing.T) {
+	logits := tensor.FromSlice(1, 3, []float32{0, 0, 0})
+	loss, grad := SoftmaxCE(logits, 1)
+	if math.Abs(loss-math.Log(3)) > 1e-5 {
+		t.Fatalf("loss %v want ln3", loss)
+	}
+	want := []float32{1.0 / 3, 1.0/3 - 1, 1.0 / 3}
+	for i, w := range want {
+		if math.Abs(float64(grad.Data[i]-w)) > 1e-5 {
+			t.Fatalf("grad %v want %v", grad.Data, want)
+		}
+	}
+}
+
+func TestSoftmaxCEGradSumsToZero(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	logits := tensor.NewMat(1, 7)
+	rng.FillNormal(logits, 2)
+	_, grad := SoftmaxCE(logits, 3)
+	var s float64
+	for _, v := range grad.Data {
+		s += float64(v)
+	}
+	if math.Abs(s) > 1e-5 {
+		t.Fatalf("grad sum %v", s)
+	}
+}
+
+func TestSGDMovesAgainstGradient(t *testing.T) {
+	p := snn.NewParam("p", 1, 2)
+	p.W.Data[0] = 1
+	p.Grad.Data[0] = 2
+	NewSGD(0.1, 0).Step([]*snn.Param{p})
+	if math.Abs(float64(p.W.Data[0])-0.8) > 1e-6 {
+		t.Fatalf("w=%v want 0.8", p.W.Data[0])
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := snn.NewParam("p", 1, 1)
+	opt := NewSGD(0.1, 0.9)
+	p.Grad.Data[0] = 1
+	opt.Step([]*snn.Param{p}) // v=-0.1, w=-0.1
+	opt.Step([]*snn.Param{p}) // v=-0.19, w=-0.29
+	if math.Abs(float64(p.W.Data[0])+0.29) > 1e-6 {
+		t.Fatalf("w=%v want -0.29", p.W.Data[0])
+	}
+}
+
+func TestAdamWStepDirectionAndDecay(t *testing.T) {
+	p := snn.NewParam("p", 1, 2)
+	p.W.Data[0], p.W.Data[1] = 1, 1
+	p.Grad.Data[0], p.Grad.Data[1] = 1, -1
+	NewAdamW(0.01, 0).Step([]*snn.Param{p})
+	if p.W.Data[0] >= 1 || p.W.Data[1] <= 1 {
+		t.Fatalf("AdamW direction wrong: %v", p.W.Data)
+	}
+	// weight decay shrinks weights even with zero gradient
+	q := snn.NewParam("q", 1, 1)
+	q.W.Data[0] = 1
+	NewAdamW(0.01, 0.5).Step([]*snn.Param{q})
+	if q.W.Data[0] >= 1 {
+		t.Fatalf("weight decay had no effect: %v", q.W.Data[0])
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := snn.NewParam("p", 1, 2)
+	p.Grad.Data[0], p.Grad.Data[1] = 3, 4 // norm 5
+	pre := ClipGradNorm([]*snn.Param{p}, 1)
+	if math.Abs(pre-5) > 1e-6 {
+		t.Fatalf("pre-norm %v", pre)
+	}
+	post := math.Sqrt(p.GradL2())
+	if math.Abs(post-1) > 1e-5 {
+		t.Fatalf("post-norm %v", post)
+	}
+	// Under the cap: untouched.
+	p.Grad.Data[0], p.Grad.Data[1] = 0.1, 0
+	ClipGradNorm([]*snn.Param{p}, 1)
+	if p.Grad.Data[0] != 0.1 {
+		t.Fatal("clip must not touch small grads")
+	}
+}
+
+// The headline training test: a tiny spiking transformer must learn the
+// CIFAR10-like task well above chance.
+func TestTrainerLearns(t *testing.T) {
+	ds := dataset.CIFAR10Like(120, 60, 42)
+	m := tinyModel(42)
+	tr := &Trainer{Model: m, Opt: NewAdamW(0.002, 1e-4), ClipL2: 5}
+	acc := tr.Run(ds, 6)
+	if acc < 0.5 {
+		t.Fatalf("test accuracy %.3f — model failed to learn (chance 0.1)", acc)
+	}
+}
+
+// BSA training must reduce spike density relative to the baseline at a
+// modest accuracy cost (§4.1 / Fig. 5).
+func TestBSAReducesDensity(t *testing.T) {
+	ds := dataset.CIFAR10Like(120, 60, 43)
+
+	base := tinyModel(43)
+	trBase := &Trainer{Model: base, Opt: NewAdamW(0.002, 1e-4), ClipL2: 5}
+	accBase := trBase.Run(ds, 5)
+	denBase := trBase.MeanSpikeDensity(ds)
+
+	bsa := tinyModel(43)
+	bsa.BSA = &transformer.BSAConfig{Lambda: 0.0004, Shape: bundle.Shape{BSt: 2, BSn: 2}, Structured: true}
+	trBSA := &Trainer{Model: bsa, Opt: NewAdamW(0.002, 1e-4), ClipL2: 5}
+	accBSA := trBSA.Run(ds, 5)
+	denBSA := trBSA.MeanSpikeDensity(ds)
+
+	t.Logf("baseline: acc=%.3f density=%.4f; BSA: acc=%.3f density=%.4f",
+		accBase, denBase, accBSA, denBSA)
+	if denBSA >= denBase {
+		t.Fatalf("BSA did not reduce density: %.4f vs %.4f", denBSA, denBase)
+	}
+	if accBSA < 0.3 {
+		t.Fatalf("BSA collapsed accuracy to %.3f", accBSA)
+	}
+}
+
+// ECP-aware training: enabling the prune hook during training must keep the
+// model trainable.
+func TestECPAwareTrainingWorks(t *testing.T) {
+	ds := dataset.CIFAR10Like(100, 50, 44)
+	m := tinyModel(44)
+	ecp := bundle.ECPConfig{Shape: bundle.Shape{BSt: 2, BSn: 2}, ThetaQ: 2, ThetaK: 2}
+	m.Prune = ecp.PruneFn(nil)
+	tr := &Trainer{Model: m, Opt: NewAdamW(0.002, 1e-4), ClipL2: 5}
+	acc := tr.Run(ds, 5)
+	if acc < 0.4 {
+		t.Fatalf("ECP-aware accuracy %.3f too low", acc)
+	}
+}
+
+func TestEvaluateEmptyTestSet(t *testing.T) {
+	ds := dataset.CIFAR10Like(10, 0, 45)
+	tr := &Trainer{Model: tinyModel(45), Opt: NewSGD(0.01, 0)}
+	if tr.Evaluate(ds) != 0 {
+		t.Fatal("empty test set must score 0")
+	}
+}

@@ -1,0 +1,107 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+	"repro/internal/transformer"
+)
+
+// Trainer drives BPTT training of a spiking transformer on a synthetic
+// dataset. BSA and ECP-aware training are enabled by configuring the model
+// (Model.BSA, Model.Prune) before calling Run — the trainer itself is
+// agnostic, exactly like the paper's pipeline where both are loss/forward
+// hooks.
+type Trainer struct {
+	Model   *transformer.Model
+	Opt     Optimizer
+	ClipL2  float64 // 0 disables clipping
+	Verbose bool
+}
+
+// EpochStats summarizes one pass over the training split.
+type EpochStats struct {
+	Loss     float64 // mean task (CE) loss
+	BSPLoss  float64 // mean bundle-sparsity penalty (unweighted spike count)
+	Accuracy float64 // training accuracy
+}
+
+func (tr *Trainer) forwardSample(s dataset.Sample) *tensor.Mat {
+	if s.Steps != nil {
+		return tr.Model.ForwardSteps(s.Steps)
+	}
+	return tr.Model.Forward(s.X)
+}
+
+// TrainEpoch runs one epoch of per-sample SGD over ds.Train.
+func (tr *Trainer) TrainEpoch(ds *dataset.Dataset) EpochStats {
+	var stats EpochStats
+	var correct int
+	params := tr.Model.Params()
+	for _, s := range ds.Train {
+		logits := tr.forwardSample(s)
+		loss, grad := SoftmaxCE(logits, s.Label)
+		stats.Loss += loss
+		stats.BSPLoss += tr.Model.TotalBSAPenalty()
+		if Accuracy(logits, s.Label) {
+			correct++
+		}
+		ZeroGrads(params)
+		tr.Model.Backward(grad)
+		if tr.ClipL2 > 0 {
+			ClipGradNorm(params, tr.ClipL2)
+		}
+		tr.Opt.Step(params)
+	}
+	n := float64(len(ds.Train))
+	stats.Loss /= n
+	stats.BSPLoss /= n
+	stats.Accuracy = float64(correct) / n
+	return stats
+}
+
+// Evaluate returns test accuracy over ds.Test.
+func (tr *Trainer) Evaluate(ds *dataset.Dataset) float64 {
+	var correct int
+	for _, s := range ds.Test {
+		if Accuracy(tr.forwardSample(s), s.Label) {
+			correct++
+		}
+	}
+	if len(ds.Test) == 0 {
+		return 0
+	}
+	return float64(correct) / float64(len(ds.Test))
+}
+
+// Run trains for the given number of epochs and returns final test accuracy.
+func (tr *Trainer) Run(ds *dataset.Dataset, epochs int) float64 {
+	for e := 0; e < epochs; e++ {
+		st := tr.TrainEpoch(ds)
+		if tr.Verbose {
+			fmt.Printf("epoch %2d: loss=%.4f bsp=%.0f train-acc=%.3f\n",
+				e, st.Loss, st.BSPLoss, st.Accuracy)
+		}
+	}
+	return tr.Evaluate(ds)
+}
+
+// MeanSpikeDensity runs the test split through the model and returns the
+// mean density of all regularized spike tensors — the activity statistic
+// BSA is meant to reduce.
+func (tr *Trainer) MeanSpikeDensity(ds *dataset.Dataset) float64 {
+	var sum float64
+	var count int
+	for _, s := range ds.Test {
+		tr.forwardSample(s)
+		for _, sp := range tr.Model.AllSpikeTensors() {
+			sum += sp.Density()
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}

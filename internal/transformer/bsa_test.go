@@ -1,0 +1,119 @@
+package transformer
+
+import (
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/tensor"
+)
+
+func TestTotalBSAPenaltyEqualsSpikeSum(t *testing.T) {
+	m := newTestModel(61)
+	m.BSA = &BSAConfig{Lambda: 1, Shape: bundle.Shape{BSt: 2, BSn: 2}}
+	x := tensor.NewMat(8, 12)
+	tensor.NewRNG(62).FillNormal(x, 1.5)
+	m.Forward(x)
+	var want float64
+	for _, s := range m.AllSpikeTensors() {
+		want += float64(s.Count())
+	}
+	if got := m.TotalBSAPenalty(); got != want {
+		t.Fatalf("penalty %v want %v (Eq. 10: Σ of L0 tags = spike count)", got, want)
+	}
+	m.BSA = nil
+	if m.TotalBSAPenalty() != 0 {
+		t.Fatal("disabled BSA must report zero penalty")
+	}
+}
+
+func TestBSAGradientPushesActivityDown(t *testing.T) {
+	// With only the BSA loss (no task gradient), a gradient step must not
+	// increase — and should typically decrease — total spike activity.
+	mk := func(withBSA bool) int {
+		m := newTestModel(63)
+		if withBSA {
+			m.BSA = &BSAConfig{Lambda: 0.01, Shape: bundle.Shape{BSt: 2, BSn: 2}, Structured: true}
+		}
+		x := tensor.NewMat(8, 12)
+		tensor.NewRNG(64).FillNormal(x, 1.5)
+		for it := 0; it < 3; it++ {
+			m.Forward(x)
+			zero := tensor.NewMat(1, m.Cfg.Classes) // no task gradient
+			for _, p := range m.Params() {
+				p.ZeroGrad()
+			}
+			m.Backward(zero)
+			for _, p := range m.Params() {
+				p.W.AXPY(-0.05, p.Grad)
+			}
+		}
+		m.Forward(x)
+		var spikes int
+		for _, s := range m.AllSpikeTensors() {
+			spikes += s.Count()
+		}
+		return spikes
+	}
+	with := mk(true)
+	without := mk(false)
+	if with >= without {
+		t.Fatalf("BSA-only steps must reduce activity: %d vs %d", with, without)
+	}
+}
+
+func TestBSAStructuredWeightsDiffer(t *testing.T) {
+	// The structured variant must weight sparse-bundle positions more than
+	// dense-bundle positions.
+	cfg := BSAConfig{Lambda: 1, Shape: bundle.Shape{BSt: 2, BSn: 2}, Structured: true}
+	m := newTestModel(65)
+	x := tensor.NewMat(8, 12)
+	tensor.NewRNG(66).FillNormal(x, 1.5)
+	m.Forward(x)
+	s := m.AllSpikeTensors()[0]
+	grads := cfg.grad(s)
+	var minW, maxW float32 = 2, 0
+	for _, g := range grads {
+		for _, v := range g.Data {
+			if v < minW {
+				minW = v
+			}
+			if v > maxW {
+				maxW = v
+			}
+		}
+	}
+	if minW >= maxW {
+		t.Fatalf("structured weights should vary: min %v max %v", minW, maxW)
+	}
+	// Plain variant is uniform at λ.
+	cfg.Structured = false
+	g0 := cfg.grad(s)[0]
+	for _, v := range g0.Data {
+		if v != 1 {
+			t.Fatalf("plain BSA grad must be λ everywhere, got %v", v)
+		}
+	}
+}
+
+func TestAttentionScoresShape(t *testing.T) {
+	m := newTestModel(67)
+	x := tensor.NewMat(8, 12)
+	tensor.NewRNG(68).FillNormal(x, 1.5)
+	m.Forward(x)
+	sm := m.AttentionScores(1)
+	if len(sm) != m.Cfg.Heads {
+		t.Fatalf("heads %d", len(sm))
+	}
+	if len(sm[0]) != m.Cfg.T {
+		t.Fatalf("steps %d", len(sm[0]))
+	}
+	if sm[0][0].Rows != m.Cfg.N || sm[0][0].Cols != m.Cfg.N {
+		t.Fatalf("score map %dx%d", sm[0][0].Rows, sm[0][0].Cols)
+	}
+	// Spiking attention scores are non-negative (counts scaled by s > 0).
+	for _, v := range sm[0][0].Data {
+		if v < 0 {
+			t.Fatal("negative attention score from binary Q·Kᵀ")
+		}
+	}
+}

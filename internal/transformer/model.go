@@ -1,0 +1,469 @@
+package transformer
+
+import (
+	"fmt"
+
+	"repro/internal/snn"
+	"repro/internal/spike"
+	"repro/internal/tensor"
+)
+
+// PruneFn is the hook through which Error-Constrained TTB Pruning (ECP)
+// plugs into the attention layers: given the spiking Q and K tensors of one
+// SSA block it returns per-(t, n) token keep-masks. Pruned Q tokens zero the
+// corresponding attention-map rows; pruned K tokens zero the columns (and so
+// the matching V rows never contribute), reproducing the compounding effect
+// of Fig. 7. A nil PruneFn keeps everything.
+type PruneFn func(q, k *spike.Tensor) (qKeep, kKeep [][]bool)
+
+// block is one residual encoder block: multi-head SSA followed by a spiking
+// MLP, with spike residuals added in the current domain before each LIF.
+type block struct {
+	idx   int
+	cfg   Config
+	scale float32
+
+	wq, wk, wv, wo *snn.Linear
+	w1, w2         *snn.Linear
+	// tdBN-lite affines keep currents near the firing threshold (see
+	// snn.Affine); one precedes every LIF in the block.
+	nQ, nK, nV, nO, nR1, nM1, nR2 *snn.Affine
+	lifQ, lifK, lifV, lifO        *snn.LIF
+	lifR1, lifM1, lifR2           *snn.LIF
+
+	// forward caches
+	q, k, v           *spike.Tensor
+	qKeep             [][]bool
+	kKeep             [][]bool
+	sMaps             [][]*tensor.Mat // [head][t] attention scores (N×N), post-scale
+	xf                []*tensor.Mat   // block input float view
+	r1f               []*tensor.Mat
+	otemp, r1, m1, r2 *spike.Tensor
+}
+
+func newBlock(idx int, cfg Config, rng *tensor.RNG) *block {
+	name := fmt.Sprintf("blk%d", idx)
+	hid := cfg.D * cfg.MLPRatio
+	const gamma0, beta0 = 2.0, 0.1
+	return &block{
+		idx: idx, cfg: cfg, scale: cfg.AttnScale(),
+		wq:   snn.NewLinear(name+".wq", cfg.D, cfg.D, false, rng),
+		wk:   snn.NewLinear(name+".wk", cfg.D, cfg.D, false, rng),
+		wv:   snn.NewLinear(name+".wv", cfg.D, cfg.D, false, rng),
+		wo:   snn.NewLinear(name+".wo", cfg.D, cfg.D, false, rng),
+		w1:   snn.NewLinear(name+".w1", cfg.D, hid, false, rng),
+		w2:   snn.NewLinear(name+".w2", hid, cfg.D, false, rng),
+		nQ:   snn.NewAffine(name+".nq", cfg.D, gamma0, beta0),
+		nK:   snn.NewAffine(name+".nk", cfg.D, gamma0, beta0),
+		nV:   snn.NewAffine(name+".nv", cfg.D, gamma0, beta0),
+		nO:   snn.NewAffine(name+".no", cfg.D, gamma0*2, beta0),
+		nR1:  snn.NewAffine(name+".nr1", cfg.D, gamma0, beta0),
+		nM1:  snn.NewAffine(name+".nm1", hid, gamma0, beta0),
+		nR2:  snn.NewAffine(name+".nr2", cfg.D, gamma0, beta0),
+		lifQ: snn.NewLIF(cfg.LIF), lifK: snn.NewLIF(cfg.LIF), lifV: snn.NewLIF(cfg.LIF),
+		lifO: snn.NewLIF(cfg.LIF), lifR1: snn.NewLIF(cfg.LIF),
+		lifM1: snn.NewLIF(cfg.LIF), lifR2: snn.NewLIF(cfg.LIF),
+	}
+}
+
+func (b *block) params() []*snn.Param {
+	var ps []*snn.Param
+	for _, l := range []*snn.Linear{b.wq, b.wk, b.wv, b.wo, b.w1, b.w2} {
+		ps = append(ps, l.Params()...)
+	}
+	for _, a := range []*snn.Affine{b.nQ, b.nK, b.nV, b.nO, b.nR1, b.nM1, b.nR2} {
+		ps = append(ps, a.Params()...)
+	}
+	return ps
+}
+
+// headCols copies head h's columns of m into an N×dh matrix.
+func headCols(m *tensor.Mat, h, dh int) *tensor.Mat {
+	out := tensor.NewMat(m.Rows, dh)
+	for n := 0; n < m.Rows; n++ {
+		copy(out.Row(n), m.Row(n)[h*dh:(h+1)*dh])
+	}
+	return out
+}
+
+// addHeadCols accumulates src (N×dh) into head h's columns of dst.
+func addHeadCols(dst, src *tensor.Mat, h, dh int) {
+	for n := 0; n < dst.Rows; n++ {
+		drow := dst.Row(n)[h*dh : (h+1)*dh]
+		for j, v := range src.Row(n) {
+			drow[j] += v
+		}
+	}
+}
+
+// applyKeepMask zeroes rows of the per-step float views for tokens whose
+// keep flag is false.
+func applyKeepMask(mats []*tensor.Mat, keep [][]bool) {
+	if keep == nil {
+		return
+	}
+	for t, m := range mats {
+		for n := 0; n < m.Rows; n++ {
+			if !keep[t][n] {
+				row := m.Row(n)
+				for j := range row {
+					row[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// forward runs the block on input spikes xs and returns the output spikes.
+func (b *block) forward(xs *spike.Tensor, prune PruneFn) *spike.Tensor {
+	cfg := b.cfg
+	b.xf = snn.SpikesToMats(xs)
+
+	// P1: Q/K/V projections + LIF (Eq. 3–5).
+	b.q = b.lifQ.Forward(b.nQ.Forward(b.wq.Forward(b.xf)))
+	b.k = b.lifK.Forward(b.nK.Forward(b.wk.Forward(b.xf)))
+	b.v = b.lifV.Forward(b.nV.Forward(b.wv.Forward(b.xf)))
+
+	b.qKeep, b.kKeep = nil, nil
+	if prune != nil {
+		b.qKeep, b.kKeep = prune(b.q, b.k)
+	}
+
+	qf := snn.SpikesToMats(b.q)
+	kf := snn.SpikesToMats(b.k)
+	vf := snn.SpikesToMats(b.v)
+	applyKeepMask(qf, b.qKeep)
+	applyKeepMask(kf, b.kKeep)
+
+	// ATN: per-head S = Q·Kᵀ·s, Y = S·V (Eq. 6).
+	dh := cfg.HeadDim()
+	b.sMaps = make([][]*tensor.Mat, cfg.Heads)
+	ycat := make([]*tensor.Mat, cfg.T)
+	for t := 0; t < cfg.T; t++ {
+		ycat[t] = tensor.NewMat(cfg.N, cfg.D)
+	}
+	for h := 0; h < cfg.Heads; h++ {
+		b.sMaps[h] = make([]*tensor.Mat, cfg.T)
+		for t := 0; t < cfg.T; t++ {
+			qh := headCols(qf[t], h, dh)
+			kh := headCols(kf[t], h, dh)
+			vh := headCols(vf[t], h, dh)
+			s := tensor.NewMat(cfg.N, cfg.N)
+			tensor.MatMulT(s, qh, kh)
+			s.ScaleInPlace(b.scale)
+			b.sMaps[h][t] = s
+			y := tensor.NewMat(cfg.N, dh)
+			tensor.MatMul(y, s, vh)
+			addHeadCols(ycat[t], y, h, dh)
+		}
+	}
+
+	// Eq. 7–8: LIF precedes the output projection so Wo multiplies binary
+	// activations.
+	b.otemp = b.lifO.Forward(b.nO.Forward(ycat))
+	ocur := b.wo.Forward(snn.SpikesToMats(b.otemp))
+
+	// Residual 1: attention output + block input, in the current domain.
+	r1cur := make([]*tensor.Mat, cfg.T)
+	for t := range r1cur {
+		r1cur[t] = ocur[t].Clone()
+		r1cur[t].AddInPlace(b.xf[t])
+	}
+	b.r1 = b.lifR1.Forward(b.nR1.Forward(r1cur))
+	b.r1f = snn.SpikesToMats(b.r1)
+
+	// MLP block with residual 2.
+	b.m1 = b.lifM1.Forward(b.nM1.Forward(b.w1.Forward(b.r1f)))
+	m2cur := b.w2.Forward(snn.SpikesToMats(b.m1))
+	r2cur := make([]*tensor.Mat, cfg.T)
+	for t := range r2cur {
+		r2cur[t] = m2cur[t].Clone()
+		r2cur[t].AddInPlace(b.r1f[t])
+	}
+	b.r2 = b.lifR2.Forward(b.nR2.Forward(r2cur))
+	return b.r2
+}
+
+// backward propagates per-step gradients w.r.t. the block output spikes back
+// to gradients w.r.t. the block input spikes, accumulating weight gradients.
+// bsa, when enabled, injects the bundle-sparsity gradient at each
+// regularized spike tensor.
+func (b *block) backward(gradOut []*tensor.Mat, bsa *BSAConfig) []*tensor.Mat {
+	cfg := b.cfg
+	dh := cfg.HeadDim()
+
+	// Residual 2 and MLP.
+	gR2cur := b.nR2.Backward(b.lifR2.Backward(gradOut))
+	gR1f := make([]*tensor.Mat, cfg.T)
+	for t := range gR1f {
+		gR1f[t] = gR2cur[t].Clone() // residual path
+	}
+	gM1f := b.w2.Backward(gR2cur)
+	addBSA(bsa, b.m1, gM1f)
+	gM1cur := b.nM1.Backward(b.lifM1.Backward(gM1f))
+	for t, g := range b.w1.Backward(gM1cur) {
+		gR1f[t].AddInPlace(g)
+	}
+
+	// Residual 1 and output projection.
+	addBSA(bsa, b.r1, gR1f)
+	gR1cur := b.nR1.Backward(b.lifR1.Backward(gR1f))
+	gXf := make([]*tensor.Mat, cfg.T)
+	for t := range gXf {
+		gXf[t] = gR1cur[t].Clone() // residual path to block input
+	}
+	gOtempF := b.wo.Backward(gR1cur)
+	addBSA(bsa, b.otemp, gOtempF)
+	gYcat := b.nO.Backward(b.lifO.Backward(gOtempF))
+
+	// Attention: dV = Sᵀ·dY, dS = dY·Vᵀ, dQ = s·dS·K, dK = s·dSᵀ·Q.
+	qf := snn.SpikesToMats(b.q)
+	kf := snn.SpikesToMats(b.k)
+	vf := snn.SpikesToMats(b.v)
+	applyKeepMask(qf, b.qKeep)
+	applyKeepMask(kf, b.kKeep)
+	gQf := make([]*tensor.Mat, cfg.T)
+	gKf := make([]*tensor.Mat, cfg.T)
+	gVf := make([]*tensor.Mat, cfg.T)
+	for t := 0; t < cfg.T; t++ {
+		gQf[t] = tensor.NewMat(cfg.N, cfg.D)
+		gKf[t] = tensor.NewMat(cfg.N, cfg.D)
+		gVf[t] = tensor.NewMat(cfg.N, cfg.D)
+	}
+	for h := 0; h < cfg.Heads; h++ {
+		for t := 0; t < cfg.T; t++ {
+			gy := headCols(gYcat[t], h, dh)
+			s := b.sMaps[h][t]
+			vh := headCols(vf[t], h, dh)
+			gv := tensor.NewMat(cfg.N, dh)
+			tensor.MatTMul(gv, s, gy)
+			gs := tensor.NewMat(cfg.N, cfg.N)
+			tensor.MatMulT(gs, gy, vh)
+			gq := tensor.NewMat(cfg.N, dh)
+			tensor.MatMul(gq, gs, headCols(kf[t], h, dh))
+			gq.ScaleInPlace(b.scale)
+			gk := tensor.NewMat(cfg.N, dh)
+			tensor.MatTMul(gk, gs, headCols(qf[t], h, dh))
+			gk.ScaleInPlace(b.scale)
+			addHeadCols(gQf[t], gq, h, dh)
+			addHeadCols(gKf[t], gk, h, dh)
+			addHeadCols(gVf[t], gv, h, dh)
+		}
+	}
+	// Pruned tokens contribute nothing through attention; their spike
+	// gradients are zero. The BSA penalty still applies to them (the
+	// spikes fired and are regularized regardless of pruning).
+	zeroPruned(gQf, b.qKeep)
+	zeroPruned(gKf, b.kKeep)
+	addBSA(bsa, b.q, gQf)
+	addBSA(bsa, b.k, gKf)
+
+	for t, g := range b.wq.Backward(b.nQ.Backward(b.lifQ.Backward(gQf))) {
+		gXf[t].AddInPlace(g)
+	}
+	for t, g := range b.wk.Backward(b.nK.Backward(b.lifK.Backward(gKf))) {
+		gXf[t].AddInPlace(g)
+	}
+	for t, g := range b.wv.Backward(b.nV.Backward(b.lifV.Backward(gVf))) {
+		gXf[t].AddInPlace(g)
+	}
+	return gXf
+}
+
+func zeroPruned(grads []*tensor.Mat, keep [][]bool) {
+	if keep == nil {
+		return
+	}
+	for t, g := range grads {
+		for n := 0; n < g.Rows; n++ {
+			if !keep[t][n] {
+				row := g.Row(n)
+				for j := range row {
+					row[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// Model is a complete spiking transformer.
+type Model struct {
+	Cfg Config
+
+	// Prune, when non-nil, applies ECP to every SSA block during forward
+	// (both at inference and, for ECP-aware training, during training).
+	Prune PruneFn
+
+	// BSA, when non-nil, enables Bundle-Sparsity-Aware training: Backward
+	// additionally injects the gradient of Lambda·L_bsp (Eq. 10) at every
+	// regularized spike tensor.
+	BSA *BSAConfig
+
+	tok    *snn.Linear
+	tokLIF *snn.LIF
+	blocks []*block
+	head   *snn.Linear
+
+	// forward caches
+	finalSpikes *spike.Tensor
+	rate        *tensor.Mat
+	trace       *Trace
+}
+
+// NewModel builds a model with deterministic initialization from seed.
+func NewModel(cfg Config, seed uint64) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := tensor.NewRNG(seed)
+	m := &Model{
+		Cfg:    cfg,
+		tok:    snn.NewLinear("tok", cfg.PatchDim, cfg.D, true, rng),
+		tokLIF: snn.NewLIF(cfg.LIF),
+		head:   snn.NewLinear("head", cfg.D, cfg.Classes, true, rng),
+	}
+	for i := 0; i < cfg.Blocks; i++ {
+		m.blocks = append(m.blocks, newBlock(i, cfg, rng))
+	}
+	return m
+}
+
+// Params returns every trainable parameter in the model.
+func (m *Model) Params() []*snn.Param {
+	ps := append([]*snn.Param{}, m.tok.Params()...)
+	for _, b := range m.blocks {
+		ps = append(ps, b.params()...)
+	}
+	return append(ps, m.head.Params()...)
+}
+
+// NumParams returns the total scalar parameter count.
+func (m *Model) NumParams() int {
+	var n int
+	for _, p := range m.Params() {
+		n += len(p.W.Data)
+	}
+	return n
+}
+
+// Forward runs a static input (N×PatchDim token features, direct-encoded
+// over T steps) through the model and returns the 1×Classes logits.
+func (m *Model) Forward(x *tensor.Mat) *tensor.Mat {
+	return m.ForwardSteps(snn.DirectEncode(x, m.Cfg.T))
+}
+
+// ForwardSteps runs a temporal input (one N×PatchDim matrix per time step,
+// e.g. DVS event frames) through the model.
+func (m *Model) ForwardSteps(xs []*tensor.Mat) *tensor.Mat {
+	cfg := m.Cfg
+	if len(xs) != cfg.T {
+		panic(fmt.Sprintf("transformer: %d input steps want %d", len(xs), cfg.T))
+	}
+	s := m.tokLIF.Forward(m.tok.Forward(xs))
+
+	tr := &Trace{Cfg: cfg}
+	tr.Layers = append(tr.Layers, TraceLayer{
+		Block: -1, Group: "TOK", Name: "tokenizer", Kind: KindTokenizer,
+		In: s, DIn: cfg.PatchDim, DOut: cfg.D,
+	})
+	for i, b := range m.blocks {
+		in := s
+		s = b.forward(in, m.Prune)
+		hid := cfg.D * cfg.MLPRatio
+		tr.Layers = append(tr.Layers,
+			TraceLayer{Block: i, Group: "P1", Name: fmt.Sprintf("blk%d.Wq", i), Kind: KindProjection, In: in, DIn: cfg.D, DOut: cfg.D},
+			TraceLayer{Block: i, Group: "P1", Name: fmt.Sprintf("blk%d.Wk", i), Kind: KindProjection, In: in, DIn: cfg.D, DOut: cfg.D},
+			TraceLayer{Block: i, Group: "P1", Name: fmt.Sprintf("blk%d.Wv", i), Kind: KindProjection, In: in, DIn: cfg.D, DOut: cfg.D},
+			TraceLayer{Block: i, Group: "ATN", Name: fmt.Sprintf("blk%d.attn", i), Kind: KindAttention,
+				Q: b.q, K: b.k, V: b.v, Heads: cfg.Heads, QKeep: b.qKeep, KKeep: b.kKeep},
+			TraceLayer{Block: i, Group: "P2", Name: fmt.Sprintf("blk%d.Wo", i), Kind: KindProjection, In: b.otemp, DIn: cfg.D, DOut: cfg.D},
+			TraceLayer{Block: i, Group: "MLP", Name: fmt.Sprintf("blk%d.W1", i), Kind: KindMLP, In: b.r1, DIn: cfg.D, DOut: hid},
+			TraceLayer{Block: i, Group: "MLP", Name: fmt.Sprintf("blk%d.W2", i), Kind: KindMLP, In: b.m1, DIn: hid, DOut: cfg.D},
+		)
+	}
+	m.trace = tr
+	m.finalSpikes = s
+
+	// Global average pooling over all tokens and time points (Fig. 2).
+	rateND := s.Rate()
+	m.rate = tensor.NewMat(1, cfg.D)
+	for n := 0; n < cfg.N; n++ {
+		for d := 0; d < cfg.D; d++ {
+			m.rate.Data[d] += rateND[n*cfg.D+d] / float32(cfg.N)
+		}
+	}
+	return m.head.Forward([]*tensor.Mat{m.rate})[0]
+}
+
+// Backward propagates dL/dlogits through the whole model, accumulating
+// parameter gradients.
+func (m *Model) Backward(dlogits *tensor.Mat) {
+	cfg := m.Cfg
+	gRate := m.head.Backward([]*tensor.Mat{dlogits})[0]
+	// d rate / d spike(t,n,d) = 1/(T·N)
+	inv := 1 / float32(cfg.T*cfg.N)
+	grad := make([]*tensor.Mat, cfg.T)
+	for t := range grad {
+		g := tensor.NewMat(cfg.N, cfg.D)
+		for n := 0; n < cfg.N; n++ {
+			row := g.Row(n)
+			for d := 0; d < cfg.D; d++ {
+				row[d] = gRate.Data[d] * inv
+			}
+		}
+		grad[t] = g
+	}
+	for i := len(m.blocks) - 1; i >= 0; i-- {
+		// A block's output is the next block's projection input, which is
+		// in the BSA-regularized set; the final block's output feeds only
+		// the classifier head and is not regularized.
+		if i < len(m.blocks)-1 {
+			addBSA(m.BSA, m.blocks[i].r2, grad)
+		}
+		grad = m.blocks[i].backward(grad, m.BSA)
+	}
+	// The tokenizer output is block 0's projection input.
+	addBSA(m.BSA, m.tokLIF.Output(), grad)
+	m.tok.Backward(m.tokLIF.Backward(grad))
+}
+
+// Trace returns the activation trace of the most recent forward pass.
+func (m *Model) Trace() *Trace { return m.trace }
+
+// AttentionScores returns the attention maps of the given block from the
+// most recent forward pass, indexed [head][time] as N×N score matrices
+// (post-scale). Used by the Fig. 8 attention-focus analysis.
+func (m *Model) AttentionScores(block int) [][]*tensor.Mat {
+	return m.blocks[block].sMaps
+}
+
+// FinalSpikes returns the last encoder block's output spikes.
+func (m *Model) FinalSpikes() *spike.Tensor { return m.finalSpikes }
+
+// AllSpikeTensors returns every traced binary activation tensor (projection,
+// MLP inputs, and attention Q/K) — the tensors over which the BSA loss of
+// Eq. 10 is defined.
+func (m *Model) AllSpikeTensors() []*spike.Tensor {
+	if m.trace == nil {
+		return nil
+	}
+	var out []*spike.Tensor
+	seen := map[*spike.Tensor]bool{}
+	add := func(s *spike.Tensor) {
+		if s != nil && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, l := range m.trace.Layers {
+		if l.Kind == KindAttention {
+			add(l.Q)
+			add(l.K)
+			continue
+		}
+		if l.Kind != KindTokenizer {
+			add(l.In)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/tensor"
+	"repro/internal/transformer"
+)
+
+func TestFitHitsTargetDensities(t *testing.T) {
+	sh := bundle.Shape{BSt: 4, BSn: 2}
+	cases := []struct{ density, bd, zf float64 }{
+		{0.0634, 0.1116, 0.093}, // Fig. 6 without BSA
+		{0.0275, 0.0522, 0.522}, // Fig. 6 with BSA
+		{0.20, 0.32, 0.05},      // Model 3 (§6.4)
+	}
+	rng := tensor.NewRNG(1)
+	for _, c := range cases {
+		p := Fit(sh, c.density, c.bd, c.zf)
+		s := Generate(rng, 8, 128, 384, p)
+		tg := bundle.Tag(s, sh)
+		if got := s.Density(); math.Abs(got-c.density) > 0.35*c.density+0.01 {
+			t.Errorf("density got %.4f want %.4f", got, c.density)
+		}
+		if got := tg.BundleDensity(); math.Abs(got-c.bd) > 0.35*c.bd+0.01 {
+			t.Errorf("bundle density got %.4f want %.4f", got, c.bd)
+		}
+		if got := tg.ZeroFeatureFraction(); math.Abs(got-c.zf) > 0.15 {
+			t.Errorf("zero frac got %.3f want %.3f", got, c.zf)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Fit(bundle.DefaultShape, 0.1, 0.2, 0.1)
+	a := Generate(tensor.NewRNG(5), 4, 16, 32, p)
+	b := Generate(tensor.NewRNG(5), 4, 16, 32, p)
+	if !a.Equal(b) {
+		t.Fatal("same seed must generate identical tensors")
+	}
+}
+
+func TestRowSkewCreatesPrunableRows(t *testing.T) {
+	// With strong row skew, ECP at a moderate threshold should keep roughly
+	// the hot-row fraction; without skew it should keep almost everything.
+	sh := bundle.Shape{BSt: 4, BSn: 2}
+	base := Fit(sh, 0.15, 0.3, 0.05)
+	rng := tensor.NewRNG(7)
+	skewed := Generate(rng, 8, 64, 128, base.WithRowSkew(0.2, 0.1))
+	uniform := Generate(rng, 8, 64, 128, base)
+
+	theta := 10
+	cfgE := bundle.ECPConfig{Shape: sh, ThetaQ: theta, ThetaK: theta}
+	_, _, sSkew := cfgE.Prune(skewed, skewed)
+	_, _, sUni := cfgE.Prune(uniform, uniform)
+	if sSkew.QKeepFrac() >= sUni.QKeepFrac() {
+		t.Fatalf("skewed keep %.3f should be below uniform keep %.3f",
+			sSkew.QKeepFrac(), sUni.QKeepFrac())
+	}
+	if sSkew.QKeepFrac() < 0.05 || sSkew.QKeepFrac() > 0.5 {
+		t.Fatalf("skewed keep %.3f outside plausible band", sSkew.QKeepFrac())
+	}
+}
+
+func TestActiveBundleHasSpike(t *testing.T) {
+	// The generator guarantees every activated bundle carries ≥1 spike even
+	// at tiny in-bundle density.
+	p := Params{Shape: bundle.DefaultShape, ZeroFrac: 0, HotFrac: 1,
+		HotProb: 0.5, ColdProb: 0.5, InBundle: 0.001, RowHot: 1, RowScale: 1}
+	s := Generate(tensor.NewRNG(9), 8, 16, 32, p)
+	if s.Count() == 0 {
+		t.Fatal("expected spikes from guaranteed placement")
+	}
+}
+
+func TestScenariosCoverAllModels(t *testing.T) {
+	sc := Scenarios()
+	for i := 1; i <= 5; i++ {
+		s, ok := sc[i]
+		if !ok {
+			t.Fatalf("missing scenario %d", i)
+		}
+		if s.DensityBSA >= s.Density {
+			t.Fatalf("model %d: BSA must lower density (%.3f vs %.3f)", i, s.DensityBSA, s.Density)
+		}
+		if s.ZeroFracBSA <= s.ZeroFrac {
+			t.Fatalf("model %d: BSA must raise zero-feature fraction", i)
+		}
+	}
+}
+
+func TestSyntheticTraceStructure(t *testing.T) {
+	cfg := transformer.Model4 // smallest full model (2 blocks)
+	tr := SyntheticTrace(cfg, Scenarios()[4], TraceOptions{}, 1)
+	if len(tr.Layers) != cfg.Blocks*7 {
+		t.Fatalf("layers %d want %d", len(tr.Layers), cfg.Blocks*7)
+	}
+	for _, l := range tr.Layers {
+		switch l.Kind {
+		case transformer.KindAttention:
+			if l.Q == nil || l.K == nil || l.V == nil {
+				t.Fatal("attention layer missing tensors")
+			}
+			if l.Q.T != cfg.T || l.Q.N != cfg.N || l.Q.D != cfg.D {
+				t.Fatalf("Q shape %v", l.Q)
+			}
+		default:
+			if l.In == nil || l.DIn == 0 || l.DOut == 0 {
+				t.Fatalf("layer %s incomplete", l.Name)
+			}
+		}
+	}
+}
+
+func TestSyntheticTraceBSAIsSparser(t *testing.T) {
+	cfg := transformer.Model4
+	sc := Scenarios()[4]
+	base := SyntheticTrace(cfg, sc, TraceOptions{}, 3)
+	bsa := SyntheticTrace(cfg, sc, TraceOptions{BSA: true}, 3)
+	var dBase, dBSA float64
+	for i := range base.Layers {
+		if base.Layers[i].In != nil {
+			dBase += base.Layers[i].In.Density()
+			dBSA += bsa.Layers[i].In.Density()
+		}
+	}
+	if dBSA >= dBase {
+		t.Fatalf("BSA trace density %.4f must be below baseline %.4f", dBSA, dBase)
+	}
+}
+
+func TestParamsClamp(t *testing.T) {
+	p := Params{ZeroFrac: -1, HotFrac: 2, HotProb: 5, ColdProb: -0.5,
+		InBundle: 1.5, RowHot: -3, RowScale: 9}
+	p.clamp()
+	for _, v := range []float64{p.ZeroFrac, p.HotFrac, p.HotProb, p.ColdProb, p.InBundle, p.RowHot, p.RowScale} {
+		if v < 0 || v > 1 {
+			t.Fatalf("clamp failed: %+v", p)
+		}
+	}
+}
