@@ -1,0 +1,31 @@
+# Mirrors .github/workflows/ci.yml: `make ci` runs exactly what CI runs.
+
+GO ?= go
+
+.PHONY: build test race bench fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: regenerates every paper artifact as a smoke
+# run. Use `$(GO) test -bench=. -benchmem` for real measurements.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build fmt-check vet race bench

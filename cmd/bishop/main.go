@@ -1,27 +1,33 @@
 // Command bishop runs the paper-reproduction experiments: one table/figure
-// per invocation, or everything with -exp all.
+// per invocation, or everything with -exp all. Independent experiments (and
+// the sweeps inside them) fan out across a worker pool; -jobs bounds it.
 //
 // Usage:
 //
 //	bishop -exp fig12            # end-to-end latency comparison
 //	bishop -exp all -quick       # every experiment, bounded training budgets
+//	bishop -exp all -jobs 4      # bound the worker pool to 4
 //	bishop -list                 # enumerate experiment ids
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sched"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
 	quick := flag.Bool("quick", false, "bound training-based experiments for fast runs")
 	seed := flag.Uint64("seed", 1, "experiment seed")
+	jobs := flag.Int("jobs", 0, "max parallel workers (0 = all CPUs)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
@@ -30,21 +36,45 @@ func main() {
 		return
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "usage: bishop -exp <id>|all [-quick] [-seed N]; bishop -list")
+		fmt.Fprintln(os.Stderr, "usage: bishop -exp <id>|all [-quick] [-seed N] [-jobs N]; bishop -list")
 		os.Exit(2)
+	}
+	if *jobs > 0 {
+		// The pool sizes itself from GOMAXPROCS; capping it here bounds
+		// every nested fan-out (experiments, sweeps, per-layer simulation).
+		runtime.GOMAXPROCS(*jobs)
 	}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.FigList()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		t, err := experiments.Run(id, *quick, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+
+	// Experiments run concurrently, but tables stream to stdout in id order
+	// with per-experiment timing as soon as the head of the line completes.
+	type result struct {
+		tbl *experiments.Table
+		dur time.Duration
+		err error
+	}
+	results := make([]chan result, len(ids))
+	for i := range results {
+		results[i] = make(chan result, 1)
+	}
+	go func() {
+		sched.Map(context.Background(), len(ids), *jobs, func(i int) error {
+			start := time.Now()
+			tbl, err := experiments.Run(ids[i], *quick, *seed)
+			results[i] <- result{tbl: tbl, dur: time.Since(start), err: err}
+			return nil // errors travel via the channel so the pool drains fully
+		})
+	}()
+	for i, id := range ids {
+		r := <-results[i]
+		if r.err != nil {
+			fmt.Fprintln(os.Stderr, r.err)
 			os.Exit(1)
 		}
-		t.Fprint(os.Stdout)
-		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		r.tbl.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %.1fs)\n\n", id, r.dur.Seconds())
 	}
 }

@@ -1,20 +1,29 @@
 // Command profile prints the §2.2 workload analysis for the Table 2 model
 // zoo: analytic FLOP breakdowns and the spike-driven operation counts of a
-// synthetic activity trace (showing what firing sparsity saves).
+// synthetic activity trace (showing what firing sparsity saves). Per-model
+// traces are synthesized and profiled concurrently; -jobs bounds the pool.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
 
 	"repro/internal/profiler"
+	"repro/internal/sched"
 	"repro/internal/transformer"
 	"repro/internal/workload"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "trace seed")
+	jobs := flag.Int("jobs", 0, "max parallel workers (0 = all CPUs)")
 	flag.Parse()
+	if *jobs > 0 {
+		runtime.GOMAXPROCS(*jobs)
+	}
 
 	fmt.Println("Analytic FLOPs breakdown (dense equivalents, §2.2):")
 	for _, cfg := range transformer.ModelZoo() {
@@ -26,11 +35,21 @@ func main() {
 
 	fmt.Println("\nSpike-driven operation counts (synthetic activity traces):")
 	scs := workload.Scenarios()
-	for i, cfg := range transformer.ModelZoo() {
-		tr := workload.SyntheticTrace(cfg, scs[i+1], workload.TraceOptions{}, *seed)
-		ops := profiler.OpsFromTrace(tr)
-		dense := profiler.Profile(cfg)
-		fmt.Printf("  %-22s %8.2f GOp (%.1f%% of dense FLOPs)\n",
-			cfg.Name, ops.Total()/1e9, 100*ops.Total()/dense.Total())
+	zoo := transformer.ModelZoo()
+	lines, err := sched.Collect(context.Background(), len(zoo), *jobs,
+		func(i int) (string, error) {
+			cfg := zoo[i]
+			tr := workload.SyntheticTrace(cfg, scs[i+1], workload.TraceOptions{}, *seed)
+			ops := profiler.OpsFromTrace(tr)
+			dense := profiler.Profile(cfg)
+			return fmt.Sprintf("  %-22s %8.2f GOp (%.1f%% of dense FLOPs)",
+				cfg.Name, ops.Total()/1e9, 100*ops.Total()/dense.Total()), nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 }

@@ -2,6 +2,8 @@
 // on the attention-bound ImageNet-100 configuration: for each pruning
 // threshold it reports how many Q/K tokens survive, the provable score
 // error bound, and the simulated attention-core latency/energy on Bishop.
+// The whole threshold sweep runs through the batch simulation API, fanning
+// the variants out across the worker pool.
 package main
 
 import (
@@ -18,27 +20,31 @@ func main() {
 	sc := workload.Scenarios()[3]
 	tr := workload.SyntheticTrace(cfg, sc, workload.TraceOptions{}, 5)
 
-	ref := accel.Simulate(tr, accel.DefaultOptions())
-	refAtn := ref.AttentionTotal()
-	tech := ref.Tech
+	thetas := []int{0, 2, 4, 6, 8, 12, 16, 24}
+	opts := make([]accel.Options, len(thetas))
+	for i, theta := range thetas {
+		opts[i] = accel.DefaultOptions()
+		if theta > 0 {
+			opts[i].ECP = &bundle.ECPConfig{Shape: opts[i].Shape, ThetaQ: theta, ThetaK: theta}
+		}
+	}
+	reps := accel.SimulateConfigs(tr, opts)
 
+	refAtn := reps[0].AttentionTotal() // theta 0 = unpruned reference
+	tech := reps[0].Tech
 	fmt.Printf("%s, attention layers only (unpruned: %.1f us, %.2f uJ)\n\n",
 		cfg.Name, refAtn.LatencyMS(tech)*1e3, refAtn.EnergyPJ()*1e-6)
 	fmt.Println("theta  Q-kept  K-kept  score-work  ATN-speedup  ATN-energy-eff")
-	for _, theta := range []int{0, 2, 4, 6, 8, 12, 16, 24} {
-		opt := accel.DefaultOptions()
+	for i, theta := range thetas {
 		var stats bundle.ECPStats
 		if theta > 0 {
-			ecp := bundle.ECPConfig{Shape: opt.Shape, ThetaQ: theta, ThetaK: theta}
 			// Gather survival stats from the first block's tensors.
 			atn := tr.ByGroup("ATN")[0]
-			_, _, stats = ecp.Prune(atn.Q, atn.K)
-			opt.ECP = &ecp
+			_, _, stats = opts[i].ECP.Prune(atn.Q, atn.K)
 		} else {
 			stats = bundle.ECPStats{QTokensKept: 1, QTokens: 1, KTokensKept: 1, KTokens: 1}
 		}
-		rep := accel.Simulate(tr, opt)
-		atn := rep.AttentionTotal()
+		atn := reps[i].AttentionTotal()
 		fmt.Printf("%-6d %5.1f%%  %5.1f%%  %8.1f%%  %10.2fx  %12.2fx\n",
 			theta, 100*stats.QKeepFrac(), 100*stats.KKeepFrac(),
 			100*stats.ScoreWorkFrac(),

@@ -7,12 +7,15 @@
 package accel
 
 import (
+	"context"
+
 	"repro/internal/bundle"
 	"repro/internal/hw"
 	"repro/internal/hw/attention"
 	"repro/internal/hw/dense"
 	"repro/internal/hw/sparse"
 	"repro/internal/hw/spikegen"
+	"repro/internal/sched"
 	"repro/internal/transformer"
 )
 
@@ -66,24 +69,43 @@ func (o *Options) normalize() {
 }
 
 // Simulate runs the trace through the Bishop model and returns the report.
+// Independent layers are simulated concurrently across the sched worker
+// pool; the report is identical to a sequential walk (see simulate).
 func Simulate(tr *transformer.Trace, opt Options) *hw.Report {
+	return simulate(tr, opt, 0)
+}
+
+// simulate is the layer-level engine behind Simulate and the batch API.
+// Every traced layer is an independent pure function of (layer, opt), so
+// they fan out across jobs workers; the per-layer reports land in trace
+// order and the ordered Finalize reduction keeps the totals bit-identical
+// to a sequential run at any worker count.
+func simulate(tr *transformer.Trace, opt Options, jobs int) *hw.Report {
 	opt.normalize()
 	rep := &hw.Report{Name: "Bishop", Tech: opt.Tech}
-	for _, l := range tr.Layers {
+	var idx []int
+	for i, l := range tr.Layers {
 		switch l.Kind {
-		case transformer.KindProjection, transformer.KindMLP:
-			rep.Layers = append(rep.Layers, simulateLinear(l, opt))
-		case transformer.KindAttention:
-			rep.Layers = append(rep.Layers, simulateAttention(l, opt))
+		case transformer.KindProjection, transformer.KindMLP, transformer.KindAttention:
+			idx = append(idx, i)
 		default:
 			// Tokenizer: profiled but not a target of the accelerator
 			// (§2.2); prior spiking-CNN accelerators handle it.
 		}
 	}
-	for i := range rep.Layers {
-		rep.Layers[i].Result.ChargeDRAMBackground(opt.Tech)
-		rep.Total.Add(rep.Layers[i].Result)
+	layers, err := sched.Collect(context.Background(), len(idx), jobs,
+		func(i int) (hw.LayerReport, error) {
+			l := tr.Layers[idx[i]]
+			if l.Kind == transformer.KindAttention {
+				return simulateAttention(l, opt), nil
+			}
+			return simulateLinear(l, opt), nil
+		})
+	if err != nil {
+		panic(err) // only a worker panic can surface here; re-raise it
 	}
+	rep.Layers = layers
+	rep.Finalize()
 	return rep
 }
 

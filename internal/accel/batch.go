@@ -1,0 +1,45 @@
+package accel
+
+import (
+	"context"
+
+	"repro/internal/hw"
+	"repro/internal/sched"
+	"repro/internal/transformer"
+)
+
+// SimulateBatch fans a batch of traces out across the sched worker pool
+// (one worker per CPU) and returns their reports in input order. Each
+// report is bit-identical to Simulate on the same trace: per-trace layer
+// simulation runs sequentially here because the batch-level fan-out already
+// saturates the pool.
+func SimulateBatch(traces []*transformer.Trace, opt Options) []*hw.Report {
+	reps, err := SimulateBatchContext(context.Background(), traces, opt, 0)
+	if err != nil {
+		panic(err) // background context never cancels; only a worker panic
+	}
+	return reps
+}
+
+// SimulateBatchContext is SimulateBatch with explicit cancellation and a
+// worker bound (jobs <= 0 means GOMAXPROCS). On cancellation the returned
+// slice holds nil for every trace that was not simulated.
+func SimulateBatchContext(ctx context.Context, traces []*transformer.Trace, opt Options, jobs int) ([]*hw.Report, error) {
+	return sched.Collect(ctx, len(traces), jobs, func(i int) (*hw.Report, error) {
+		return simulate(traces[i], opt, 1), nil
+	})
+}
+
+// SimulateConfigs runs one trace under several option variants concurrently
+// — the shape of every design-space sweep in the evaluation (Figs. 14–16,
+// the ECP-threshold example) — returning reports in opts order.
+func SimulateConfigs(tr *transformer.Trace, opts []Options) []*hw.Report {
+	reps, err := sched.Collect(context.Background(), len(opts), 0,
+		func(i int) (*hw.Report, error) {
+			return simulate(tr, opts[i], 1), nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	return reps
+}

@@ -1,0 +1,78 @@
+package accel
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/transformer"
+)
+
+// TestLayerParallelismBitIdentical pins the tentpole determinism contract:
+// the layer-parallel engine must reproduce the sequential walk bit for bit,
+// every metric of every layer, at any worker count.
+func TestLayerParallelismBitIdentical(t *testing.T) {
+	for _, model := range []int{1, 3} {
+		tr := trace(model, false, 1)
+		seq := simulate(tr, DefaultOptions(), 1)
+		for _, workers := range []int{2, 4, 8} {
+			par := simulate(tr, DefaultOptions(), workers)
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("model %d: %d-worker report differs from sequential", model, workers)
+			}
+		}
+	}
+}
+
+func TestSimulateDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	tr := trace(2, false, 1)
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	seq := Simulate(tr, DefaultOptions())
+	runtime.GOMAXPROCS(8)
+	par := Simulate(tr, DefaultOptions())
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("GOMAXPROCS=8 report differs from GOMAXPROCS=1")
+	}
+}
+
+func TestSimulateBatchMatchesSequential(t *testing.T) {
+	traces := make([]*transformer.Trace, 5)
+	for m := 1; m <= 5; m++ {
+		traces[m-1] = trace(m, false, 1)
+	}
+	batch := SimulateBatch(traces, DefaultOptions())
+	if len(batch) != len(traces) {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i, tr := range traces {
+		want := simulate(tr, DefaultOptions(), 1)
+		if !reflect.DeepEqual(batch[i], want) {
+			t.Fatalf("batch slot %d differs from sequential Simulate", i)
+		}
+	}
+}
+
+func TestSimulateBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	traces := []*transformer.Trace{trace(1, false, 1), trace(2, false, 1)}
+	_, err := SimulateBatchContext(ctx, traces, DefaultOptions(), 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestSimulateConfigsMatchesSimulate(t *testing.T) {
+	tr := trace(1, false, 1)
+	opts := []Options{DefaultOptions(), DefaultOptions()}
+	opts[1].Stratify = false
+	reps := SimulateConfigs(tr, opts)
+	for i, opt := range opts {
+		if !reflect.DeepEqual(reps[i], simulate(tr, opt, 1)) {
+			t.Fatalf("config slot %d differs from direct Simulate", i)
+		}
+	}
+}

@@ -62,10 +62,7 @@ func Simulate(tr *transformer.Trace, opt Options) *hw.Report {
 			rep.Layers = append(rep.Layers, simulateAttention(l, opt))
 		}
 	}
-	for i := range rep.Layers {
-		rep.Layers[i].Result.ChargeDRAMBackground(opt.Tech)
-		rep.Total.Add(rep.Layers[i].Result)
-	}
+	rep.Finalize()
 	return rep
 }
 

@@ -77,13 +77,21 @@ func Table1(quick bool, seed uint64) *Table {
 	t := &Table{ID: "table1", Title: "SNN architecture accuracy on shuffled CIFAR10-like (Table 1)",
 		Header: []string{"Architecture", "Test accuracy"}}
 
-	mlp := newSpikingMLP(ds.N*ds.PatchD, 64, ds.Classes, 4, seed)
-	mlpAcc := trainSimple(mlp.forward, mlp.backward, mlp.params(), ds, epochs)
-
-	cnn := newSpikingCNN(4, ds.PatchD, ds.Classes, 4, seed)
-	cnnAcc := trainSimple(cnn.forward, cnn.backward, cnn.params(), ds, epochs)
-
-	_, sptAcc := trainTiny(ds, seed, nil, nil, epochs)
+	// The three architectures train independently (each owns its model and
+	// RNG; the dataset is read-only), so they run concurrently.
+	var mlpAcc, cnnAcc, sptAcc float64
+	mustDo(
+		func() {
+			mlp := newSpikingMLP(ds.N*ds.PatchD, 64, ds.Classes, 4, seed)
+			mlpAcc = trainSimple(mlp.forward, mlp.backward, mlp.params(), ds, epochs)
+		},
+		func() {
+			cnn := newSpikingCNN(4, ds.PatchD, ds.Classes, 4, seed)
+			cnnAcc = trainSimple(cnn.forward, cnn.backward, cnn.params(), ds, epochs)
+		},
+		func() {
+			_, sptAcc = trainTiny(ds, seed, nil, nil, epochs)
+		})
 
 	t.AddRow("Spiking MLP", f3(mlpAcc))
 	t.AddRow("Spiking CNN", f3(cnnAcc))
@@ -98,10 +106,6 @@ func Fig5(quick bool, seed uint64) *Table {
 	trainN, testN, epochs := sizes(quick)
 	ds := dataset.CIFAR10Like(trainN, testN, seed)
 	sh := bundle.Shape{BSt: 2, BSn: 2}
-
-	base, accB := trainTiny(ds, seed, nil, nil, epochs)
-	bsaCfg := &transformer.BSAConfig{Lambda: 0.0004, Shape: sh, Structured: true}
-	bsa, accS := trainTiny(ds, seed, bsaCfg, nil, epochs)
 
 	const buckets = 4
 	collect := func(m *transformer.Model) (hist []float64, zero float64, density float64) {
@@ -125,17 +129,32 @@ func Fig5(quick bool, seed uint64) *Table {
 		}
 		return hist, zero / float64(n), density / float64(n)
 	}
-	hB, zB, dB := collect(base)
-	hS, zS, dS := collect(bsa)
+
+	// The ±BSA sides are independent trainings over a read-only dataset, so
+	// they run concurrently; each side probes its own model right after
+	// training (Forward mutates model state, so the probe stays in-slot).
+	type side struct {
+		hist          []float64
+		zero, density float64
+		acc           float64
+	}
+	bsaCfgs := []*transformer.BSAConfig{
+		nil, {Lambda: 0.0004, Shape: sh, Structured: true}}
+	sides := mustCollect(2, func(i int) side {
+		m, acc := trainTiny(ds, seed, bsaCfgs[i], nil, epochs)
+		h, z, d := collect(m)
+		return side{hist: h, zero: z, density: d, acc: acc}
+	})
+	b, s := sides[0], sides[1]
 
 	t := &Table{ID: "fig5", Title: "Active-bundle distribution of spiking queries, ±BSA (Fig. 5)",
 		Header: []string{"Metric", "w/o BSA", "with BSA"}}
 	for i := 0; i < buckets; i++ {
-		t.AddRow(fmt.Sprintf("features in activity quartile %d", i+1), pct(hB[i]), pct(hS[i]))
+		t.AddRow(fmt.Sprintf("features in activity quartile %d", i+1), pct(b.hist[i]), pct(s.hist[i]))
 	}
-	t.AddRow("zero-activity features", pct(zB), pct(zS))
-	t.AddRow("Q spike density", pct(dB), pct(dS))
-	t.AddRow("test accuracy", f3(accB), f3(accS))
+	t.AddRow("zero-activity features", pct(b.zero), pct(s.zero))
+	t.AddRow("Q spike density", pct(b.density), pct(s.density))
+	t.AddRow("test accuracy", f3(b.acc), f3(s.acc))
 	t.Note("paper (Model 1): zero-activity features rise 9.3%% -> 52.2%% under BSA")
 	return t
 }
@@ -216,7 +235,12 @@ func Fig14(quick bool, seed uint64) *Table {
 		3: func() *dataset.Dataset { return dataset.ImageNet100Like(trainN, testN, seed) },
 	}
 	sh := bundle.Shape{BSt: 2, BSn: 2}
-	for _, mi := range models {
+	// Models train and sweep independently; fan them out and append their
+	// rows in model order. The per-model keep sweep stays sequential because
+	// it mutates the trained model's prune hook between evaluations.
+	perModel := mustCollect(len(models), func(idx int) [][]string {
+		mi := models[idx]
+		var rows [][]string
 		ds := mkDataset[mi]()
 		model, _ := trainTiny(ds, seed, nil, nil, epochs)
 		trainer := &train.Trainer{Model: model}
@@ -256,11 +280,16 @@ func Fig14(quick bool, seed uint64) *Table {
 				opt.ECP = &bundle.ECPConfig{Shape: opt.Shape, ThetaQ: hq, ThetaK: hk}
 			}
 			atn := accel.Simulate(tr0, opt).AttentionTotal()
-			t.AddRow(fmt.Sprintf("Model %d", mi), pct(keep), fmt.Sprint(theta), f3(acc),
+			rows = append(rows, []string{fmt.Sprintf("Model %d", mi), pct(keep),
+				fmt.Sprint(theta), f3(acc),
 				pct(stats.QKeepFrac()), pct(stats.KKeepFrac()),
-				x(ref.LatencySec(tech)/atn.LatencySec(tech)),
-				x(ref.EnergyPJ()/atn.EnergyPJ()))
+				x(ref.LatencySec(tech) / atn.LatencySec(tech)),
+				x(ref.EnergyPJ() / atn.EnergyPJ())})
 		}
+		return rows
+	})
+	for _, rows := range perModel {
+		t.Rows = append(t.Rows, rows...)
 	}
 	t.Note("paper: moderate theta_p keeps or improves accuracy while giving up to 65.79x SSA speedup (ImageNet-100)")
 	return t

@@ -33,6 +33,7 @@ func TestTablePrinting(t *testing.T) {
 }
 
 func TestTable2MatchesZoo(t *testing.T) {
+	t.Parallel()
 	tbl := Table2()
 	if len(tbl.Rows) != 5 {
 		t.Fatalf("rows %d", len(tbl.Rows))
@@ -45,6 +46,7 @@ func TestTable2MatchesZoo(t *testing.T) {
 }
 
 func TestFig3SharesInPaperBand(t *testing.T) {
+	t.Parallel()
 	tbl := Fig3()
 	if len(tbl.Rows) != 6 {
 		t.Fatalf("rows %d", len(tbl.Rows))
@@ -64,6 +66,7 @@ func TestFig3SharesInPaperBand(t *testing.T) {
 }
 
 func TestFig6DensityOrdering(t *testing.T) {
+	t.Parallel()
 	tbl := Fig6(1)
 	if len(tbl.Rows) != 6 {
 		t.Fatalf("rows %d", len(tbl.Rows))
@@ -85,6 +88,7 @@ func TestFig6DensityOrdering(t *testing.T) {
 }
 
 func TestFig11Normalization(t *testing.T) {
+	t.Parallel()
 	tbl := Fig11(4, 1) // Model 4: 2 blocks × 4 groups = 8 rows
 	if len(tbl.Rows) != 8 {
 		t.Fatalf("rows %d", len(tbl.Rows))
@@ -105,6 +109,7 @@ func TestFig11Normalization(t *testing.T) {
 }
 
 func TestFig12SpeedupsOrdered(t *testing.T) {
+	t.Parallel()
 	tbl := Fig12(1)
 	if len(tbl.Rows) != 5 {
 		t.Fatalf("rows %d", len(tbl.Rows))
@@ -124,6 +129,7 @@ func TestFig12SpeedupsOrdered(t *testing.T) {
 }
 
 func TestFig13EnergyOrdered(t *testing.T) {
+	t.Parallel()
 	tbl := Fig13(1)
 	for _, r := range tbl.Rows {
 		if !(cellFloat(t, r[3]) > cellFloat(t, r[2])) {
@@ -133,6 +139,7 @@ func TestFig13EnergyOrdered(t *testing.T) {
 }
 
 func TestSummaryHeadline(t *testing.T) {
+	t.Parallel()
 	tbl := Summary(1)
 	sp := cellFloat(t, tbl.Rows[0][1])
 	en := cellFloat(t, tbl.Rows[0][2])
@@ -147,6 +154,7 @@ func TestSummaryHeadline(t *testing.T) {
 }
 
 func TestFig15UShapeAndPTBWorse(t *testing.T) {
+	t.Parallel()
 	tbl := Fig15(1)
 	n := len(tbl.Rows)
 	if n < 5 {
@@ -166,6 +174,7 @@ func TestFig15UShapeAndPTBWorse(t *testing.T) {
 }
 
 func TestFig16VolumeSweep(t *testing.T) {
+	t.Parallel()
 	tbl := Fig16(1)
 	if len(tbl.Rows) != 8 {
 		t.Fatalf("rows %d", len(tbl.Rows))
@@ -205,6 +214,7 @@ func TestFig17BreakdownSums(t *testing.T) {
 }
 
 func TestSec64Ablations(t *testing.T) {
+	t.Parallel()
 	tbl := Sec64(1)
 	if len(tbl.Rows) != 4 {
 		t.Fatalf("rows %d", len(tbl.Rows))
@@ -237,6 +247,7 @@ func TestTable1Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")
 	}
+	t.Parallel()
 	tbl := Table1(true, 7)
 	spt := cellFloat(t, tbl.Rows[2][1])
 	if spt < 0.3 {
@@ -248,6 +259,7 @@ func TestFig5Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")
 	}
+	t.Parallel()
 	tbl := Fig5(true, 7)
 	// Q spike density row: BSA column must be below baseline.
 	var denRow []string
@@ -268,6 +280,7 @@ func TestFig8Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")
 	}
+	t.Parallel()
 	tbl := Fig8(true, 7)
 	base := cellFloat(t, tbl.Rows[0][1])
 	ecp := cellFloat(t, tbl.Rows[1][1])
@@ -280,6 +293,7 @@ func TestFig14Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")
 	}
+	t.Parallel()
 	tbl := Fig14(true, 7)
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows %d", len(tbl.Rows))

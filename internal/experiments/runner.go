@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/sched"
+)
+
+// RunOptions configures a batch experiment run.
+type RunOptions struct {
+	Quick bool   // bound training-based experiments
+	Seed  uint64 // experiment seed
+	Jobs  int    // worker bound for the cross-experiment fan-out (<=0 → GOMAXPROCS)
+}
+
+// RunAll executes the given experiments concurrently across the sched
+// worker pool and returns their tables in ids order. Each experiment is
+// itself deterministic at a fixed seed (its internal fan-outs reduce in a
+// fixed order), so the batch output is metric-for-metric identical to
+// running the ids sequentially. The first failing id aborts the batch.
+func RunAll(ids []string, opt RunOptions) ([]*Table, error) {
+	return sched.Collect(context.Background(), len(ids), opt.Jobs,
+		func(i int) (*Table, error) {
+			return Run(ids[i], opt.Quick, opt.Seed)
+		})
+}

@@ -21,6 +21,17 @@ type Report struct {
 	Total  Result
 }
 
+// Finalize charges the DRAM background energy on every layer and
+// accumulates the end-to-end total, walking layers in trace order. The
+// ordered reduction keeps the floating-point sums bit-identical whether the
+// per-layer results were produced sequentially or by a worker pool.
+func (r *Report) Finalize() {
+	for i := range r.Layers {
+		r.Layers[i].Result.ChargeDRAMBackground(r.Tech)
+		r.Total.Add(r.Layers[i].Result)
+	}
+}
+
 // LatencyMS returns the end-to-end latency in milliseconds.
 func (r *Report) LatencyMS() float64 { return r.Total.LatencyMS(r.Tech) }
 

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bundle"
+	"repro/internal/transformer"
+)
+
+// traceKey identifies a synthetic trace exactly: the model configuration,
+// the calibrated activity scenario, the trace options, and the seed. All
+// fields are comparable value types, so the key works as a map key without
+// serialization.
+type traceKey struct {
+	cfg  transformer.Config
+	sc   Scenario
+	opt  TraceOptions
+	seed uint64
+}
+
+// traceEntry guards one cached trace: the sync.Once gives singleflight
+// semantics, so concurrent requests for the same key compute it exactly
+// once and everyone shares the result.
+type traceEntry struct {
+	once sync.Once
+	tr   *transformer.Trace
+}
+
+var traceCache = struct {
+	mu sync.Mutex
+	m  map[traceKey]*traceEntry
+}{m: map[traceKey]*traceEntry{}}
+
+var cacheHits, cacheMisses atomic.Int64
+
+// CachedTrace returns the SyntheticTrace for (cfg, sc, opt, seed),
+// computing it at most once per process. Every simulator in this repo
+// treats traces as read-only, which is what makes sharing one trace across
+// concurrent experiment drivers safe; callers must preserve that property.
+func CachedTrace(cfg transformer.Config, sc Scenario, opt TraceOptions, seed uint64) *transformer.Trace {
+	// Normalize the shape so the zero value and the explicit default hit
+	// the same entry (SyntheticTrace treats them identically).
+	if opt.Shape.BSt == 0 {
+		opt.Shape = bundle.DefaultShape
+	}
+	key := traceKey{cfg: cfg, sc: sc, opt: opt, seed: seed}
+
+	traceCache.mu.Lock()
+	e, ok := traceCache.m[key]
+	if !ok {
+		e = &traceEntry{}
+		traceCache.m[key] = e
+	}
+	traceCache.mu.Unlock()
+
+	computed := false
+	e.once.Do(func() {
+		e.tr = SyntheticTrace(cfg, sc, opt, seed)
+		computed = true
+	})
+	if computed {
+		cacheMisses.Add(1)
+	} else {
+		cacheHits.Add(1)
+	}
+	return e.tr
+}
+
+// TraceCacheStats reports how often CachedTrace reused an existing trace
+// versus generating one.
+func TraceCacheStats() (hits, misses int64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}

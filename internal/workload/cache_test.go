@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/transformer"
+)
+
+func TestCachedTraceSharesOneTrace(t *testing.T) {
+	cfg := transformer.ModelZoo()[3] // smallest full-size model (DVS)
+	sc := Scenarios()[4]
+	a := CachedTrace(cfg, sc, TraceOptions{}, 42)
+	b := CachedTrace(cfg, sc, TraceOptions{}, 42)
+	if a != b {
+		t.Fatal("same key must return the same trace pointer")
+	}
+	// A zero shape and the explicit default are the same effective key.
+	c := CachedTrace(cfg, sc, TraceOptions{Shape: bundle.DefaultShape}, 42)
+	if c != a {
+		t.Fatal("zero shape must normalize to the default-shape entry")
+	}
+	if d := CachedTrace(cfg, sc, TraceOptions{}, 43); d == a {
+		t.Fatal("different seed must yield a different trace")
+	}
+	if e := CachedTrace(cfg, sc, TraceOptions{BSA: true}, 42); e == a {
+		t.Fatal("different options must yield a different trace")
+	}
+}
+
+func TestCachedTraceMatchesSynthetic(t *testing.T) {
+	cfg := transformer.ModelZoo()[3]
+	sc := Scenarios()[4]
+	cached := CachedTrace(cfg, sc, TraceOptions{}, 7)
+	direct := SyntheticTrace(cfg, sc, TraceOptions{}, 7)
+	if !reflect.DeepEqual(cached, direct) {
+		t.Fatal("cached trace must be identical to direct synthesis")
+	}
+}
+
+func TestCachedTraceConcurrentSingleflight(t *testing.T) {
+	cfg := transformer.ModelZoo()[3]
+	sc := Scenarios()[4]
+	const goroutines = 16
+	out := make([]*transformer.Trace, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[g] = CachedTrace(cfg, sc, TraceOptions{}, 99)
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if out[g] != out[0] {
+			t.Fatal("concurrent callers must share one computed trace")
+		}
+	}
+	hits, misses := TraceCacheStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats not tracking: hits=%d misses=%d", hits, misses)
+	}
+}
