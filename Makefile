@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet ci
+.PHONY: build test race bench bench-json fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,17 @@ race:
 # run. Use `$(GO) test -bench=. -benchmem` for real measurements.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Machine-readable benchmark output (test2json event stream, one JSON object
+# per line) for trajectory tracking: compare BENCH_*.json files across
+# commits with any JSON tooling. BENCH_OUT overrides the output path.
+BENCH_OUT ?= BENCH_$(shell git rev-parse --short HEAD 2>/dev/null || echo local).json
+# On failure the tail of the event stream (which contains the FAIL events
+# and panic traces) is echoed so the cause is visible in the CI log.
+bench-json:
+	@$(GO) test -json -run='^$$' -bench=. -benchtime=1x ./... > $(BENCH_OUT) || \
+		{ echo "bench-json failed; last events:" >&2; tail -60 $(BENCH_OUT) >&2; exit 1; }
+	@echo "wrote $(BENCH_OUT)"
 
 fmt:
 	gofmt -w .

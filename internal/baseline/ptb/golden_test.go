@@ -1,0 +1,43 @@
+package ptb
+
+// Golden reference test pinning the PTB baseline's cycle/traffic totals on
+// a deterministic synthetic trace. The word-parallel activeFeatures kernel
+// (PR 2) must reproduce the scalar bit-loop reference exactly.
+//
+// Re-pin with PRINT_GOLDEN=1 only after an intentional model change.
+
+import (
+	"math"
+	"os"
+	"testing"
+)
+
+func TestGoldenPTBSimulate(t *testing.T) {
+	const (
+		goldenCycles = int64(1724113)
+		goldenGLB    = int64(133307584)
+		goldenDRAM   = int64(9240576)
+		goldenEnergy = uint64(0x41e10fba654e4e28)
+	)
+	rep := Simulate(trace(2, 11), DefaultOptions())
+	eBits := math.Float64bits(rep.Total.EnergyPJ())
+	if os.Getenv("PRINT_GOLDEN") != "" {
+		t.Logf("goldenCycles = int64(%d)", rep.Total.Cycles)
+		t.Logf("goldenGLB    = int64(%d)", rep.Total.GLBBytes)
+		t.Logf("goldenDRAM   = int64(%d)", rep.Total.DRAMBytes)
+		t.Logf("goldenEnergy = uint64(%#x)", eBits)
+		return
+	}
+	if rep.Total.Cycles != goldenCycles {
+		t.Errorf("cycles %d want %d", rep.Total.Cycles, goldenCycles)
+	}
+	if rep.Total.GLBBytes != goldenGLB {
+		t.Errorf("GLB bytes %d want %d", rep.Total.GLBBytes, goldenGLB)
+	}
+	if rep.Total.DRAMBytes != goldenDRAM {
+		t.Errorf("DRAM bytes %d want %d", rep.Total.DRAMBytes, goldenDRAM)
+	}
+	if eBits != goldenEnergy {
+		t.Errorf("energy bits %#x want %#x", eBits, goldenEnergy)
+	}
+}

@@ -13,6 +13,8 @@
 package ptb
 
 import (
+	"math/bits"
+
 	"repro/internal/hw"
 	"repro/internal/hw/memory"
 	"repro/internal/hw/spikegen"
@@ -68,22 +70,25 @@ func Simulate(tr *transformer.Trace, opt Options) *hw.Report {
 
 // activeFeatures returns, for token n and the time window [t0,t1), the
 // number of input features carrying at least one spike and the total spike
-// count — the streaming beats and work of one matrix-vector pass.
-func activeFeatures(s *spike.Tensor, n, t0, t1 int) (feats, spikes int) {
+// count — the streaming beats and work of one matrix-vector pass. It ORs
+// the packed token rows of the window into acc (a caller-provided scratch
+// of s.WordsPerRow() words): the popcount of the union is the active
+// feature count, and the per-row popcounts sum to the spike count.
+func activeFeatures(s *spike.Tensor, n, t0, t1 int, acc []uint64) (feats, spikes int) {
 	if t1 > s.T {
 		t1 = s.T
 	}
-	for d := 0; d < s.D; d++ {
-		c := 0
-		for t := t0; t < t1; t++ {
-			if s.Get(t, n, d) {
-				c++
-			}
+	for i := range acc {
+		acc[i] = 0
+	}
+	for t := t0; t < t1; t++ {
+		for i, w := range s.TokenWords(t, n) {
+			acc[i] |= w
+			spikes += bits.OnesCount64(w)
 		}
-		if c > 0 {
-			feats++
-			spikes += c
-		}
+	}
+	for _, w := range acc {
+		feats += bits.OnesCount64(w)
 	}
 	return feats, spikes
 }
@@ -101,9 +106,10 @@ func simulateLinear(l transformer.TraceLayer, opt Options) hw.LayerReport {
 	outTiles := hw.CeilDiv(int64(l.DOut), int64(opt.OutLanes))
 
 	var beats, totalSpikes, weightGLB int64
+	acc := make([]uint64, in.WordsPerRow())
 	for n := 0; n < in.N; n++ {
 		for w := 0; w < nWindows; w++ {
-			f, s := activeFeatures(in, n, w*window, (w+1)*window)
+			f, s := activeFeatures(in, n, w*window, (w+1)*window, acc)
 			beats += int64(f)
 			totalSpikes += int64(s)
 			// Weight rows for the active features are streamed again for
@@ -157,11 +163,11 @@ func simulateAttention(l transformer.TraceLayer, opt Options) hw.LayerReport {
 	T, N, D := int64(q.T), int64(q.N), int64(q.D)
 
 	// Mode S: beats = active Q features per (t, token); outputs tile over N.
+	// A single-step window's active-feature count is the token popcount.
 	var qBeats int64
 	for tt := 0; tt < q.T; tt++ {
 		for n := 0; n < q.N; n++ {
-			f, _ := activeFeatures(q, n, tt, tt+1)
-			qBeats += int64(f)
+			qBeats += int64(q.CountToken(tt, n))
 		}
 	}
 	cyclesS := qBeats * hw.CeilDiv(N, int64(opt.OutLanes))

@@ -1,0 +1,71 @@
+package bundle
+
+// Microbenchmark for TTB tagging: the single-pass word-scan Tag against the
+// pre-refactor per-(feature, bundle) CountBlock formulation. Shape matches
+// the Model-2 activation tensors the hardware model tags per layer.
+
+import (
+	"testing"
+
+	"repro/internal/spike"
+	"repro/internal/tensor"
+)
+
+func benchSpikes() *spike.Tensor {
+	rng := tensor.NewRNG(42)
+	s := spike.NewTensor(4, 196, 384)
+	for t := 0; t < s.T; t++ {
+		for n := 0; n < s.N; n++ {
+			for d := 0; d < s.D; d++ {
+				if rng.Float64() < 0.12 {
+					s.Set(t, n, d, true)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// naiveTag is the pre-refactor formulation: one CountBlock per
+// (bundle, feature) pair.
+func naiveTag(s *spike.Tensor, sh Shape) *Tags {
+	nbt := (s.T + sh.BSt - 1) / sh.BSt
+	nbn := (s.N + sh.BSn - 1) / sh.BSn
+	tg := &Tags{Shape: sh, T: s.T, N: s.N, D: s.D, NBt: nbt, NBn: nbn,
+		Counts: make([]int, nbt*nbn*s.D)}
+	for bt := 0; bt < nbt; bt++ {
+		for bn := 0; bn < nbn; bn++ {
+			base := (bt*nbn + bn) * s.D
+			for d := 0; d < s.D; d++ {
+				tg.Counts[base+d] = s.CountBlock(bt*sh.BSt, (bt+1)*sh.BSt, bn*sh.BSn, (bn+1)*sh.BSn, d)
+			}
+		}
+	}
+	return tg
+}
+
+func TestNaiveTagMatchesTag(t *testing.T) {
+	s := benchSpikes()
+	a, b := Tag(s, DefaultShape), naiveTag(s, DefaultShape)
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatalf("tag mismatch at %d: %d vs %d", i, a.Counts[i], b.Counts[i])
+		}
+	}
+}
+
+func BenchmarkTag(b *testing.B) {
+	s := benchSpikes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Tag(s, DefaultShape)
+	}
+}
+
+func BenchmarkTagNaive(b *testing.B) {
+	s := benchSpikes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = naiveTag(s, DefaultShape)
+	}
+}

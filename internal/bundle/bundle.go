@@ -11,6 +11,7 @@ package bundle
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/spike"
@@ -45,17 +46,26 @@ type Tags struct {
 }
 
 // Tag computes the bundle activity tags of s under the given bundle shape.
+// Instead of one bit-loop per (feature, bundle) pair, it makes a single
+// word-scan pass over the tensor: each (t, n) token row belongs to exactly
+// one bundle row, so every set bit increments one tag — O(words + spikes)
+// rather than O(T·N·D) bounds-checked Gets.
 func Tag(s *spike.Tensor, sh Shape) *Tags {
 	sh.validate()
 	nbt := (s.T + sh.BSt - 1) / sh.BSt
 	nbn := (s.N + sh.BSn - 1) / sh.BSn
 	tg := &Tags{Shape: sh, T: s.T, N: s.N, D: s.D, NBt: nbt, NBn: nbn,
 		Counts: make([]int, nbt*nbn*s.D)}
-	for bt := 0; bt < nbt; bt++ {
-		for bn := 0; bn < nbn; bn++ {
-			base := (bt*nbn + bn) * s.D
-			for d := 0; d < s.D; d++ {
-				tg.Counts[base+d] = s.CountBlock(bt*sh.BSt, (bt+1)*sh.BSt, bn*sh.BSn, (bn+1)*sh.BSn, d)
+	for t := 0; t < s.T; t++ {
+		btBase := (t / sh.BSt) * nbn
+		for n := 0; n < s.N; n++ {
+			counts := tg.Counts[(btBase+n/sh.BSn)*s.D:]
+			for wi, w := range s.TokenWords(t, n) {
+				base := wi << 6
+				for w != 0 {
+					counts[base+bits.TrailingZeros64(w)]++
+					w &= w - 1
+				}
 			}
 		}
 	}

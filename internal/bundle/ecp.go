@@ -142,13 +142,7 @@ func MaxScoreOfPruned(q, k *spike.Tensor, qKeep [][]bool) int {
 				continue
 			}
 			for m := 0; m < k.N; m++ {
-				var s int
-				for d := 0; d < q.D; d++ {
-					if q.Get(t, n, d) && k.Get(t, m, d) {
-						s++
-					}
-				}
-				if s > maxS {
+				if s := q.TokenAndCount(t, n, k, t, m); s > maxS {
 					maxS = s
 				}
 			}

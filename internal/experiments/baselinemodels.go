@@ -48,7 +48,7 @@ func (m *spikingMLP) params() []*snn.Param {
 func (m *spikingMLP) forward(x *tensor.Mat) *tensor.Mat {
 	flat := tensor.FromSlice(1, len(x.Data), x.Data)
 	s1 := m.f1.Forward(m.n1.Forward(m.l1.Forward(snn.DirectEncode(flat, m.T))))
-	s2 := m.f2.Forward(m.n2.Forward(m.l2.Forward(snn.SpikesToMats(s1))))
+	s2 := m.f2.Forward(m.n2.Forward(m.l2.ForwardSpikes(s1)))
 	rate := s2.Rate()
 	m.rate = tensor.FromSlice(1, len(rate), rate)
 	return m.head.Forward([]*tensor.Mat{m.rate})[0]

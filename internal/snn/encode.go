@@ -34,15 +34,16 @@ func RateEncode(x *tensor.Mat, T int, rng *tensor.RNG) *spike.Tensor {
 	return s
 }
 
-// SpikesToMats materializes a binary spike tensor as per-step float matrices,
-// the representation consumed by Linear/Conv2D layers.
+// SpikesToMats materializes a binary spike tensor as per-step float
+// matrices. Projections should prefer Linear.ForwardSpikes (the
+// spike-driven GEMM, no materialization); this remains for consumers that
+// genuinely need float views — attention head slicing with ECP keep-masks,
+// pooling layers, and the dense-path baselines.
 func SpikesToMats(s *spike.Tensor) []*tensor.Mat {
 	out := make([]*tensor.Mat, s.T)
-	buf := make([]float32, s.N*s.D)
 	for t := 0; t < s.T; t++ {
-		s.TimeSlice(t, buf)
 		m := tensor.NewMat(s.N, s.D)
-		copy(m.Data, buf)
+		s.TimeSlice(t, m.Data)
 		out[t] = m
 	}
 	return out

@@ -35,10 +35,28 @@ type LIF struct {
 	t, n, d int
 	vpre    []*tensor.Mat // membrane potential before thresholding, per step
 	out     *spike.Tensor
+
+	// pooled scratch, reused across Forward/Backward calls when the shape
+	// is unchanged (the common case inside a training loop): the membrane
+	// accumulator, the BPTT carry, and the row-packing buffer. The output
+	// spike tensor is NOT pooled — traces cache references to it.
+	vpost   *tensor.Mat
+	gvpost  *tensor.Mat
+	rowBits []uint64
 }
 
 // NewLIF returns an LIF layer with the given configuration.
 func NewLIF(cfg LIFConfig) *LIF { return &LIF{Cfg: cfg} }
+
+// scratchMat returns *m reset to zero, reallocating only on shape change.
+func scratchMat(m **tensor.Mat, rows, cols int) *tensor.Mat {
+	if *m == nil || (*m).Rows != rows || (*m).Cols != cols {
+		*m = tensor.NewMat(rows, cols)
+	} else {
+		(*m).Zero()
+	}
+	return *m
+}
 
 // Forward integrates the per-step input currents (each N×D) and returns the
 // binary spike tensor. The caches needed by Backward are retained until the
@@ -49,31 +67,45 @@ func (l *LIF) Forward(currents []*tensor.Mat) *spike.Tensor {
 	}
 	T := len(currents)
 	N, D := currents[0].Rows, currents[0].Cols
+	if l.t != T || l.n != N || l.d != D || l.vpre == nil {
+		l.vpre = make([]*tensor.Mat, T)
+		for t := range l.vpre {
+			l.vpre[t] = tensor.NewMat(N, D)
+		}
+	}
 	l.t, l.n, l.d = T, N, D
-	l.vpre = make([]*tensor.Mat, T)
 	l.out = spike.NewTensor(T, N, D)
 
-	vpost := tensor.NewMat(N, D)
+	vpost := scratchMat(&l.vpost, N, D)
+	wpr := l.out.WordsPerRow()
+	if len(l.rowBits) != wpr {
+		l.rowBits = make([]uint64, wpr)
+	}
+	rowBits := l.rowBits
 	for t := 0; t < T; t++ {
 		cur := currents[t]
 		if cur.Rows != N || cur.Cols != D {
 			panic(fmt.Sprintf("snn: LIF step %d shape %dx%d want %dx%d", t, cur.Rows, cur.Cols, N, D))
 		}
-		vp := tensor.NewMat(N, D)
+		vp := l.vpre[t]
 		for i := range vp.Data {
 			vp.Data[i] = vpost.Data[i] + cur.Data[i] - l.Cfg.Leak
 		}
-		l.vpre[t] = vp
 		for n := 0; n < N; n++ {
-			for d := 0; d < D; d++ {
-				v := vp.At(n, d)
+			vrow := vp.Row(n)
+			prow := vpost.Row(n)
+			for i := range rowBits {
+				rowBits[i] = 0
+			}
+			for d, v := range vrow {
 				if v > l.Cfg.Vth {
-					l.out.Set(t, n, d, true)
-					vpost.Set(n, d, 0)
+					rowBits[d>>6] |= 1 << (uint(d) & 63)
+					prow[d] = 0
 				} else {
-					vpost.Set(n, d, v)
+					prow[d] = v
 				}
 			}
+			l.out.SetTokenWords(t, n, rowBits)
 		}
 	}
 	return l.out
@@ -94,7 +126,7 @@ func (l *LIF) Backward(gradOut []*tensor.Mat) []*tensor.Mat {
 		panic(fmt.Sprintf("snn: LIF.Backward got %d steps want %d", len(gradOut), T))
 	}
 	gradIn := make([]*tensor.Mat, T)
-	gvpost := tensor.NewMat(N, D) // dL/dvpost[t], flowing backward in time
+	gvpost := scratchMat(&l.gvpost, N, D) // dL/dvpost[t], flowing backward in time
 	w := l.Cfg.SurrWidth
 	surrScale := 1 / (2 * w)
 	for t := T - 1; t >= 0; t-- {
@@ -102,8 +134,9 @@ func (l *LIF) Backward(gradOut []*tensor.Mat) []*tensor.Mat {
 		vp := l.vpre[t]
 		go_ := gradOut[t]
 		for n := 0; n < N; n++ {
+			fired := l.out.TokenWords(t, n)
+			idx := n * D
 			for d := 0; d < D; d++ {
-				idx := n*D + d
 				var gs float32
 				if go_ != nil {
 					gs = go_.Data[idx]
@@ -114,14 +147,12 @@ func (l *LIF) Backward(gradOut []*tensor.Mat) []*tensor.Mat {
 				if v > l.Cfg.Vth-w && v < l.Cfg.Vth+w {
 					surr = surrScale
 				}
-				var fired float32
-				if l.out.Get(t, n, d) {
-					fired = 1
-				}
+				notFired := float32(^fired[d>>6] >> (uint(d) & 63) & 1)
 				// dL/dvpre = dL/dvpost·(1-S) + dL/dS·surr'  (reset detached)
-				gvpre := gvpost.Data[idx]*(1-fired) + gs*surr
+				gvpre := gvpost.Data[idx]*notFired + gs*surr
 				gi.Data[idx] = gvpre
 				gvpost.Data[idx] = gvpre // carried to t-1 (dvpre[t]/dvpost[t-1] = 1)
+				idx++
 			}
 		}
 		gradIn[t] = gi

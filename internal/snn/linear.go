@@ -2,6 +2,7 @@ package snn
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/spike"
 	"repro/internal/tensor"
@@ -17,8 +18,12 @@ type Linear struct {
 	Weight  *Param
 	Bias    *Param // nil when the layer is bias-free
 
-	// forward cache: inputs per time step, for the weight gradient
+	// forward cache: exactly one of xs (float inputs) or sx (binary spike
+	// input) is set, for the weight gradient in Backward.
 	xs []*tensor.Mat
+	sx *spike.Tensor
+
+	idx []int // pooled set-bit index buffer for the spike-driven GEMM
 }
 
 // NewLinear constructs an in×out projection with Kaiming-uniform init.
@@ -42,7 +47,7 @@ func (l *Linear) Params() []*Param {
 // Forward applies the projection at every step. The inputs are cached for
 // Backward.
 func (l *Linear) Forward(xs []*tensor.Mat) []*tensor.Mat {
-	l.xs = xs
+	l.xs, l.sx = xs, nil
 	out := make([]*tensor.Mat, len(xs))
 	for t, x := range xs {
 		if x.Cols != l.In {
@@ -50,47 +55,98 @@ func (l *Linear) Forward(xs []*tensor.Mat) []*tensor.Mat {
 		}
 		y := tensor.NewMat(x.Rows, l.Out)
 		tensor.MatMul(y, x, l.Weight.W)
-		if l.Bias != nil {
-			for n := 0; n < y.Rows; n++ {
-				row := y.Row(n)
-				for j, b := range l.Bias.W.Data {
-					row[j] += b
-				}
-			}
-		}
+		l.addBias(y)
 		out[t] = y
 	}
 	return out
 }
 
-// ForwardSpikes is Forward with a binary spike tensor input; it materializes
-// each time slice and reuses Forward, returning the synaptic currents.
+// ForwardSpikes applies the projection directly on a binary spike tensor
+// via a spike-driven GEMM: for every set bit (n, d) the weight row d is
+// accumulated into output row n, so the float spike matrix is never
+// materialized and the work is proportional to the spike count. The
+// accumulation is register-blocked four weight rows deep (one pass over the
+// output row per four spikes); each output element still sums its weight
+// contributions in ascending-d order, making the result bit-identical to
+// materializing the slice and calling Forward.
 func (l *Linear) ForwardSpikes(s *spike.Tensor) []*tensor.Mat {
-	xs := make([]*tensor.Mat, s.T)
-	buf := make([]float32, s.N*s.D)
-	for t := 0; t < s.T; t++ {
-		s.TimeSlice(t, buf)
-		m := tensor.NewMat(s.N, s.D)
-		copy(m.Data, buf)
-		xs[t] = m
+	if s.D != l.In {
+		panic(fmt.Sprintf("snn: Linear %s input features %d want %d", l.Weight.Name, s.D, l.In))
 	}
-	return l.Forward(xs)
+	l.xs, l.sx = nil, s
+	w := l.Weight.W
+	out := make([]*tensor.Mat, s.T)
+	for t := 0; t < s.T; t++ {
+		y := tensor.NewMat(s.N, l.Out)
+		for n := 0; n < s.N; n++ {
+			yrow := y.Row(n)
+			idx := l.idx[:0]
+			for wi, bw := range s.TokenWords(t, n) {
+				base := wi << 6
+				for bw != 0 {
+					idx = append(idx, base+bits.TrailingZeros64(bw))
+					bw &= bw - 1
+				}
+			}
+			l.idx = idx
+			i := 0
+			for ; i+3 < len(idx); i += 4 {
+				w0, w1 := w.Row(idx[i]), w.Row(idx[i+1])
+				w2, w3 := w.Row(idx[i+2]), w.Row(idx[i+3])
+				for j := range yrow {
+					v := yrow[j]
+					v += w0[j]
+					v += w1[j]
+					v += w2[j]
+					v += w3[j]
+					yrow[j] = v
+				}
+			}
+			for ; i < len(idx); i++ {
+				for j, wv := range w.Row(idx[i]) {
+					yrow[j] += wv
+				}
+			}
+		}
+		l.addBias(y)
+		out[t] = y
+	}
+	return out
+}
+
+func (l *Linear) addBias(y *tensor.Mat) {
+	if l.Bias == nil {
+		return
+	}
+	for n := 0; n < y.Rows; n++ {
+		row := y.Row(n)
+		for j, b := range l.Bias.W.Data {
+			row[j] += b
+		}
+	}
 }
 
 // Backward accumulates the weight (and bias) gradients from the per-step
-// output gradients and returns the per-step input gradients.
+// output gradients and returns the per-step input gradients. After a
+// ForwardSpikes pass the weight gradient dW += xᵀ·gy is likewise
+// spike-driven: each set bit (n, d) scatters gy row n into gradient row d,
+// in the same (n, d) order as the dense MatTMulAcc reference.
 func (l *Linear) Backward(gradOut []*tensor.Mat) []*tensor.Mat {
-	if l.xs == nil {
+	if l.xs == nil && l.sx == nil {
 		panic("snn: Linear.Backward before Forward")
 	}
 	gradIn := make([]*tensor.Mat, len(gradOut))
 	for t, gy := range gradOut {
 		if gy == nil {
-			gradIn[t] = tensor.NewMat(l.xs[t].Rows, l.In)
+			gradIn[t] = tensor.NewMat(l.inRows(t), l.In)
 			continue
 		}
 		// dW += xᵀ·gy
-		tensor.MatTMulAcc(l.Weight.Grad, l.xs[t], gy)
+		if l.sx != nil {
+			l.accSpikeGrad(t, gy)
+		} else {
+			tensor.MatTMulAcc(l.Weight.Grad, l.xs[t], gy)
+		}
 		if l.Bias != nil {
 			for n := 0; n < gy.Rows; n++ {
 				row := gy.Row(n)
@@ -105,4 +161,31 @@ func (l *Linear) Backward(gradOut []*tensor.Mat) []*tensor.Mat {
 		gradIn[t] = gx
 	}
 	return gradIn
+}
+
+func (l *Linear) inRows(t int) int {
+	if l.sx != nil {
+		return l.sx.N
+	}
+	return l.xs[t].Rows
+}
+
+// accSpikeGrad accumulates dW += s[t]ᵀ·gy for the binary cached input.
+func (l *Linear) accSpikeGrad(t int, gy *tensor.Mat) {
+	s := l.sx
+	grad := l.Weight.Grad
+	for n := 0; n < s.N; n++ {
+		gyrow := gy.Row(n)
+		for wi, bw := range s.TokenWords(t, n) {
+			base := wi << 6
+			for bw != 0 {
+				d := base + bits.TrailingZeros64(bw)
+				bw &= bw - 1
+				grow := grad.Row(d)
+				for j, v := range gyrow {
+					grow[j] += v
+				}
+			}
+		}
+	}
 }

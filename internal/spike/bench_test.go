@@ -1,0 +1,131 @@
+package spike
+
+// Microbenchmarks for the word-parallel kernels against the naive bit-loop
+// baselines they replaced (the *Naive benchmarks walk the public
+// bounds-checked Get path exactly as the pre-refactor kernels did).
+// Shapes follow the Model-2 activation tensors (T=4, N=196, D=384) that the
+// hardware model tags millions of times per figure.
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+const benchT, benchN, benchD = 4, 196, 384
+
+func benchTensor() *Tensor {
+	rng := tensor.NewRNG(42)
+	return randomTensor(rng, benchT, benchN, benchD, 0.12)
+}
+
+func BenchmarkCountToken(b *testing.B) {
+	s := benchTensor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < s.N; n++ {
+			_ = s.CountToken(0, n)
+		}
+	}
+}
+
+func BenchmarkCountTokenNaive(b *testing.B) {
+	s := benchTensor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < s.N; n++ {
+			_ = naiveCountToken(s, 0, n)
+		}
+	}
+}
+
+func BenchmarkCountFeature(b *testing.B) {
+	s := benchTensor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := 0; d < s.D; d += 16 {
+			_ = s.CountFeature(d)
+		}
+	}
+}
+
+func BenchmarkCountFeatureNaive(b *testing.B) {
+	s := benchTensor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := 0; d < s.D; d += 16 {
+			_ = naiveCountFeature(s, d)
+		}
+	}
+}
+
+func BenchmarkRate(b *testing.B) {
+	s := benchTensor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Rate()
+	}
+}
+
+func BenchmarkRateNaive(b *testing.B) {
+	s := benchTensor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = naiveRate(s)
+	}
+}
+
+func BenchmarkTimeSlice(b *testing.B) {
+	s := benchTensor()
+	dst := make([]float32, s.N*s.D)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TimeSlice(i%s.T, dst)
+	}
+}
+
+func BenchmarkTimeSliceNaive(b *testing.B) {
+	s := benchTensor()
+	dst := make([]float32, s.N*s.D)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := i % s.T
+		for n := 0; n < s.N; n++ {
+			for d := 0; d < s.D; d++ {
+				if s.Get(t, n, d) {
+					dst[n*s.D+d] = 1
+				} else {
+					dst[n*s.D+d] = 0
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	s := benchTensor()
+	o := randomTensor(tensor.NewRNG(7), benchT, benchN, benchD, 0.12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.AndCount(o)
+	}
+}
+
+func BenchmarkAndCountNaive(b *testing.B) {
+	s := benchTensor()
+	o := randomTensor(tensor.NewRNG(7), benchT, benchN, benchD, 0.12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c int
+		for t := 0; t < s.T; t++ {
+			for n := 0; n < s.N; n++ {
+				for d := 0; d < s.D; d++ {
+					if s.Get(t, n, d) && o.Get(t, n, d) {
+						c++
+					}
+				}
+			}
+		}
+		_ = c
+	}
+}

@@ -7,6 +7,14 @@
 // Index order is (t, n, d): feature d varies fastest. This matches the
 // Token-Time-Bundle layout in the paper (Fig. 4), where a bundle packs BSn
 // tokens × BSt time points for one feature.
+//
+// Layout: each (t, n) token row is padded to a whole number of 64-bit words
+// (wpr = ⌈D/64⌉), so every row starts word-aligned and all aggregate
+// operations (Count*, Rate, TimeSlice, overlap counts) run as masked
+// popcounts and TrailingZeros64 scans over whole words instead of per-bit
+// Get/Set calls. Padding bits past D are always zero — every mutator
+// maintains that invariant, which is what lets the kernels popcount whole
+// words unmasked.
 package spike
 
 import (
@@ -17,6 +25,7 @@ import (
 // Tensor is a binary activation tensor of shape T×N×D.
 type Tensor struct {
 	T, N, D int
+	wpr     int // 64-bit words per (t, n) token row
 	words   []uint64
 }
 
@@ -25,30 +34,75 @@ func NewTensor(t, n, d int) *Tensor {
 	if t <= 0 || n <= 0 || d <= 0 {
 		panic(fmt.Sprintf("spike: invalid shape %dx%dx%d", t, n, d))
 	}
-	total := t * n * d
-	return &Tensor{T: t, N: n, D: d, words: make([]uint64, (total+63)/64)}
+	wpr := (d + 63) / 64
+	return &Tensor{T: t, N: n, D: d, wpr: wpr, words: make([]uint64, t*n*wpr)}
 }
 
-func (s *Tensor) index(t, n, d int) int {
-	if t < 0 || t >= s.T || n < 0 || n >= s.N || d < 0 || d >= s.D {
-		panic(fmt.Sprintf("spike: index (%d,%d,%d) out of %dx%dx%d", t, n, d, s.T, s.N, s.D))
+// rowStart returns the word offset of token row (t, n) without bounds
+// checks; it is the internal unchecked entry point for the hot kernels.
+func (s *Tensor) rowStart(t, n int) int { return (t*s.N + n) * s.wpr }
+
+func (s *Tensor) checkRow(t, n int) {
+	if t < 0 || t >= s.T || n < 0 || n >= s.N {
+		panic(fmt.Sprintf("spike: row (%d,%d) out of %dx%d", t, n, s.T, s.N))
 	}
-	return (t*s.N+n)*s.D + d
+}
+
+// padMask returns the valid-bit mask of the last word of a token row (all
+// ones when D is a multiple of 64).
+func (s *Tensor) padMask() uint64 {
+	if r := uint(s.D & 63); r != 0 {
+		return (1 << r) - 1
+	}
+	return ^uint64(0)
+}
+
+// WordsPerRow returns the number of 64-bit words backing one (t, n) token
+// row, ⌈D/64⌉ — the scratch size for TokenWords-based kernels.
+func (s *Tensor) WordsPerRow() int { return s.wpr }
+
+// TokenWords returns the packed firing bits of token row (t, n) as a live
+// word-slice view: bit d of the row is word d>>6, bit d&63. The view is
+// read-only by contract — writers must go through Set or SetTokenWords so
+// the padding bits past D stay zero.
+func (s *Tensor) TokenWords(t, n int) []uint64 {
+	s.checkRow(t, n)
+	i := s.rowStart(t, n)
+	return s.words[i : i+s.wpr : i+s.wpr]
+}
+
+// SetTokenWords overwrites token row (t, n) from src (length ⌈D/64⌉),
+// masking any padding bits past D.
+func (s *Tensor) SetTokenWords(t, n int, src []uint64) {
+	s.checkRow(t, n)
+	if len(src) != s.wpr {
+		panic(fmt.Sprintf("spike: SetTokenWords len %d want %d", len(src), s.wpr))
+	}
+	row := s.words[s.rowStart(t, n):]
+	copy(row[:s.wpr], src)
+	row[s.wpr-1] &= s.padMask()
 }
 
 // Get reports whether the neuron at (t, n, d) fired.
 func (s *Tensor) Get(t, n, d int) bool {
-	i := s.index(t, n, d)
-	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+	s.checkRow(t, n)
+	if d < 0 || d >= s.D {
+		panic(fmt.Sprintf("spike: feature %d out of %d", d, s.D))
+	}
+	return s.words[s.rowStart(t, n)+d>>6]&(1<<(uint(d)&63)) != 0
 }
 
 // Set assigns the firing bit at (t, n, d).
 func (s *Tensor) Set(t, n, d int, v bool) {
-	i := s.index(t, n, d)
+	s.checkRow(t, n)
+	if d < 0 || d >= s.D {
+		panic(fmt.Sprintf("spike: feature %d out of %d", d, s.D))
+	}
+	i := s.rowStart(t, n) + d>>6
 	if v {
-		s.words[i>>6] |= 1 << (uint(i) & 63)
+		s.words[i] |= 1 << (uint(d) & 63)
 	} else {
-		s.words[i>>6] &^= 1 << (uint(i) & 63)
+		s.words[i] &^= 1 << (uint(d) & 63)
 	}
 }
 
@@ -83,11 +137,11 @@ func (s *Tensor) Zero() {
 // CountToken returns the number of spikes for token n at time t across all
 // features (the per-token firing count used by ECP row statistics).
 func (s *Tensor) CountToken(t, n int) int {
+	s.checkRow(t, n)
+	i := s.rowStart(t, n)
 	var c int
-	for d := 0; d < s.D; d++ {
-		if s.Get(t, n, d) {
-			c++
-		}
+	for _, w := range s.words[i : i+s.wpr] {
+		c += bits.OnesCount64(w)
 	}
 	return c
 }
@@ -95,13 +149,14 @@ func (s *Tensor) CountToken(t, n int) int {
 // CountFeature returns the number of spikes on feature d across all tokens
 // and time points (the per-feature column activity used by the stratifier).
 func (s *Tensor) CountFeature(d int) int {
+	if d < 0 || d >= s.D {
+		panic(fmt.Sprintf("spike: feature %d out of %d", d, s.D))
+	}
+	i := d >> 6
+	b := uint(d) & 63
 	var c int
-	for t := 0; t < s.T; t++ {
-		for n := 0; n < s.N; n++ {
-			if s.Get(t, n, d) {
-				c++
-			}
-		}
+	for ; i < len(s.words); i += s.wpr {
+		c += int(s.words[i] >> b & 1)
 	}
 	return c
 }
@@ -110,21 +165,111 @@ func (s *Tensor) CountFeature(d int) int {
 // [n0,n1) and time points [t0,t1), clamped to the tensor bounds. This is the
 // L0 bundle-activity tag of Eq. 9.
 func (s *Tensor) CountBlock(t0, t1, n0, n1, d int) int {
+	if d < 0 || d >= s.D {
+		panic(fmt.Sprintf("spike: feature %d out of %d", d, s.D))
+	}
+	if t0 < 0 {
+		t0 = 0
+	}
+	if n0 < 0 {
+		n0 = 0
+	}
 	if t1 > s.T {
 		t1 = s.T
 	}
 	if n1 > s.N {
 		n1 = s.N
 	}
+	w := d >> 6
+	b := uint(d) & 63
 	var c int
 	for t := t0; t < t1; t++ {
+		i := s.rowStart(t, n0) + w
 		for n := n0; n < n1; n++ {
-			if s.Get(t, n, d) {
-				c++
-			}
+			c += int(s.words[i] >> b & 1)
+			i += s.wpr
 		}
 	}
 	return c
+}
+
+// ForEachSetToken calls fn(d) for every set feature bit of token row (t, n)
+// in ascending d order, scanning words with TrailingZeros64.
+func (s *Tensor) ForEachSetToken(t, n int, fn func(d int)) {
+	s.checkRow(t, n)
+	i := s.rowStart(t, n)
+	for wi, w := range s.words[i : i+s.wpr] {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// ForEachSet calls fn(t, n, d) for every set bit in (t, n, d) order.
+func (s *Tensor) ForEachSet(fn func(t, n, d int)) {
+	i := 0
+	for t := 0; t < s.T; t++ {
+		for n := 0; n < s.N; n++ {
+			for wi := 0; wi < s.wpr; wi++ {
+				w := s.words[i+wi]
+				base := wi << 6
+				for w != 0 {
+					fn(t, n, base+bits.TrailingZeros64(w))
+					w &= w - 1
+				}
+			}
+			i += s.wpr
+		}
+	}
+}
+
+// AndCount returns the number of positions where both tensors spike — the
+// overlap statistic behind integer attention scores (S = Q·Kᵀ on binary
+// data is exactly a windowed AndCount). Shapes must match.
+func (s *Tensor) AndCount(o *Tensor) int {
+	s.mustSameShape(o)
+	var c int
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// OrCount returns the number of positions where either tensor spikes.
+// Shapes must match.
+func (s *Tensor) OrCount(o *Tensor) int {
+	s.mustSameShape(o)
+	var c int
+	for i, w := range s.words {
+		c += bits.OnesCount64(w | o.words[i])
+	}
+	return c
+}
+
+// TokenAndCount returns the overlap between token row (t, n) of s and token
+// row (ot, on) of o — the integer attention score Σ_d s∧o of Eq. 6. The
+// feature widths must match.
+func (s *Tensor) TokenAndCount(t, n int, o *Tensor, ot, on int) int {
+	if s.D != o.D {
+		panic(fmt.Sprintf("spike: TokenAndCount D %d vs %d", s.D, o.D))
+	}
+	s.checkRow(t, n)
+	o.checkRow(ot, on)
+	a := s.words[s.rowStart(t, n):]
+	b := o.words[o.rowStart(ot, on):]
+	var c int
+	for i := 0; i < s.wpr; i++ {
+		c += bits.OnesCount64(a[i] & b[i])
+	}
+	return c
+}
+
+func (s *Tensor) mustSameShape(o *Tensor) {
+	if s.T != o.T || s.N != o.N || s.D != o.D {
+		panic(fmt.Sprintf("spike: shape %dx%dx%d vs %dx%dx%d", s.T, s.N, s.D, o.T, o.N, o.D))
+	}
 }
 
 // TimeSlice copies the spikes at time t into dst as a float N×D matrix
@@ -133,12 +278,20 @@ func (s *Tensor) TimeSlice(t int, dst []float32) {
 	if len(dst) != s.N*s.D {
 		panic(fmt.Sprintf("spike: TimeSlice dst len %d want %d", len(dst), s.N*s.D))
 	}
+	if t < 0 || t >= s.T {
+		panic(fmt.Sprintf("spike: time %d out of %d", t, s.T))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for n := 0; n < s.N; n++ {
-		for d := 0; d < s.D; d++ {
-			if s.Get(t, n, d) {
-				dst[n*s.D+d] = 1
-			} else {
-				dst[n*s.D+d] = 0
+		i := s.rowStart(t, n)
+		out := dst[n*s.D:]
+		for wi, w := range s.words[i : i+s.wpr] {
+			base := wi << 6
+			for w != 0 {
+				out[base+bits.TrailingZeros64(w)] = 1
+				w &= w - 1
 			}
 		}
 	}
@@ -150,9 +303,24 @@ func (s *Tensor) SetTimeSlice(t int, src []float32) {
 	if len(src) != s.N*s.D {
 		panic(fmt.Sprintf("spike: SetTimeSlice src len %d want %d", len(src), s.N*s.D))
 	}
+	if t < 0 || t >= s.T {
+		panic(fmt.Sprintf("spike: time %d out of %d", t, s.T))
+	}
 	for n := 0; n < s.N; n++ {
-		for d := 0; d < s.D; d++ {
-			s.Set(t, n, d, src[n*s.D+d] > 0.5)
+		row := src[n*s.D : (n+1)*s.D]
+		i := s.rowStart(t, n)
+		for wi := 0; wi < s.wpr; wi++ {
+			var w uint64
+			seg := row[wi<<6:]
+			if len(seg) > 64 {
+				seg = seg[:64]
+			}
+			for b, v := range seg {
+				if v > 0.5 {
+					w |= 1 << uint(b)
+				}
+			}
+			s.words[i+wi] = w
 		}
 	}
 }
@@ -162,13 +330,19 @@ func (s *Tensor) SetTimeSlice(t int, src []float32) {
 func (s *Tensor) Rate() []float32 {
 	out := make([]float32, s.N*s.D)
 	inv := 1 / float32(s.T)
+	i := 0
 	for t := 0; t < s.T; t++ {
 		for n := 0; n < s.N; n++ {
-			for d := 0; d < s.D; d++ {
-				if s.Get(t, n, d) {
-					out[n*s.D+d] += inv
+			dst := out[n*s.D:]
+			for wi := 0; wi < s.wpr; wi++ {
+				w := s.words[i+wi]
+				base := wi << 6
+				for w != 0 {
+					dst[base+bits.TrailingZeros64(w)] += inv
+					w &= w - 1
 				}
 			}
+			i += s.wpr
 		}
 	}
 	return out

@@ -163,6 +163,11 @@ func MatMulAcc(dst, a, b *Mat) {
 }
 
 // MatMulT computes dst = a·bᵀ. dst must be a.Rows×b.Rows.
+//
+// The kernel is register-blocked four b-rows wide: one pass over an a-row
+// feeds four independent dot-product accumulators, quartering the loads of
+// a. Each output element still sums in ascending-k order, so results are
+// bit-identical to the scalar formulation.
 func MatMulT(dst, a, b *Mat) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmulT inner dim %d vs %d", a.Cols, b.Cols))
@@ -173,7 +178,19 @@ func MatMulT(dst, a, b *Mat) {
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
+		j := 0
+		for ; j+3 < b.Rows; j += 4 {
+			b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+			var s0, s1, s2, s3 float32
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < b.Rows; j++ {
 			brow := b.Row(j)
 			var s float32
 			for k, av := range arow {
@@ -197,9 +214,45 @@ func MatTMul(dst, a, b *Mat) {
 }
 
 // MatTMulAcc computes dst += aᵀ·b.
+//
+// The kernel is register-blocked two a-rows deep: each dst row is updated
+// by a pair of (a[r][k], a[r+1][k]) contributions in one pass, halving the
+// dst traffic. Every dst element still accumulates its addends in
+// ascending-r order (r before r+1 within a pair), so results are
+// bit-identical to the scalar formulation.
 func MatTMulAcc(dst, a, b *Mat) {
 	n := b.Cols
-	for r := 0; r < a.Rows; r++ {
+	r := 0
+	for ; r+1 < a.Rows; r += 2 {
+		a0, a1 := a.Row(r), a.Row(r+1)
+		b0 := b.Data[r*n : r*n+n]
+		b1 := b.Data[(r+1)*n : (r+1)*n+n]
+		for k := range a0 {
+			av0, av1 := a0[k], a1[k]
+			if av0 == 0 && av1 == 0 {
+				continue
+			}
+			drow := dst.Row(k)
+			switch {
+			case av1 == 0:
+				for j, bv := range b0 {
+					drow[j] += av0 * bv
+				}
+			case av0 == 0:
+				for j, bv := range b1 {
+					drow[j] += av1 * bv
+				}
+			default:
+				for j, bv := range b0 {
+					v := drow[j]
+					v += av0 * bv
+					v += av1 * b1[j]
+					drow[j] = v
+				}
+			}
+		}
+	}
+	for ; r < a.Rows; r++ {
 		arow := a.Row(r)
 		brow := b.Data[r*n : r*n+n]
 		for k, av := range arow {
@@ -207,12 +260,6 @@ func MatTMulAcc(dst, a, b *Mat) {
 				continue
 			}
 			drow := dst.Row(k)
-			if av == 1 {
-				for j, bv := range brow {
-					drow[j] += bv
-				}
-				continue
-			}
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
@@ -223,12 +270,23 @@ func MatTMulAcc(dst, a, b *Mat) {
 // Transpose returns aᵀ as a new matrix.
 func Transpose(a *Mat) *Mat {
 	out := NewMat(a.Cols, a.Rows)
+	TransposeInto(out, a)
+	return out
+}
+
+// TransposeInto writes aᵀ into dst (which must be a.Cols×a.Rows),
+// letting hot backward passes reuse one scratch matrix instead of
+// allocating per step.
+func TransposeInto(dst, a *Mat) {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		panic(fmt.Sprintf("tensor: transpose dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, a.Rows))
+	}
 	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range arow {
+			dst.Data[j*a.Rows+i] = v
 		}
 	}
-	return out
 }
 
 // Softmax applies a numerically stable row-wise softmax in place.

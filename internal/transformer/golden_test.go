@@ -1,0 +1,108 @@
+package transformer
+
+// Golden reference test pinning the exact bit patterns of a full
+// forward/backward pass — logits, spike counts, and every parameter
+// gradient — on a small deterministic model with BSA and ECP enabled.
+// The word-parallel spike kernels and the spike-driven GEMM (PR 2) must
+// reproduce the dense reference implementation bit for bit; any change to
+// summation order, spike layout, or pruning behavior trips this test.
+//
+// To re-pin after an *intentional* numerical change, run with
+// PRINT_GOLDEN=1 and copy the printed constants.
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/tensor"
+)
+
+// bitHash accumulates float32 bit patterns into an FNV-1a hash.
+type bitHash struct{ h uint64 }
+
+func newBitHash() *bitHash { return &bitHash{h: 14695981039346656037} }
+
+func (s *bitHash) u32(v uint32) {
+	for i := 0; i < 4; i++ {
+		s.h ^= uint64(byte(v >> (8 * i)))
+		s.h *= 1099511628211
+	}
+}
+
+func (s *bitHash) mat(m *tensor.Mat) {
+	for _, v := range m.Data {
+		s.u32(math.Float32bits(v))
+	}
+}
+
+func TestGoldenForwardBackwardBits(t *testing.T) {
+	const (
+		goldenLogits   = uint64(0x1d40819e056b55f1)
+		goldenSpikes   = 1403
+		goldenGrads    = uint64(0xdab044d1cbd69f83)
+		goldenBSAPen   = 1403
+		goldenAttnBits = uint64(0xfb68e12d8a4f4128)
+	)
+
+	cfg := tinyConfig()
+	m := NewModel(cfg, 42)
+	m.BSA = &BSAConfig{Lambda: 1e-4, Shape: bundle.DefaultShape, Structured: true}
+	ecp := bundle.ECPConfig{Shape: bundle.DefaultShape, ThetaQ: 2, ThetaK: 2}
+	m.Prune = ecp.PruneFn(nil)
+
+	x := tensor.NewMat(cfg.N, cfg.PatchDim)
+	tensor.NewRNG(7).FillNormal(x, 1)
+	logits := m.Forward(x)
+
+	hl := newBitHash()
+	hl.mat(logits)
+
+	var spikes int
+	for _, s := range m.AllSpikeTensors() {
+		spikes += s.Count()
+	}
+	pen := int(m.TotalBSAPenalty())
+
+	ha := newBitHash()
+	for _, sm := range m.AttentionScores(0) {
+		for _, s := range sm {
+			ha.mat(s)
+		}
+	}
+
+	dl := tensor.NewMat(1, cfg.Classes)
+	for i := range dl.Data {
+		dl.Data[i] = float32(i)*0.25 - 0.5
+	}
+	m.Backward(dl)
+	hg := newBitHash()
+	for _, p := range m.Params() {
+		hg.mat(p.Grad)
+	}
+
+	if os.Getenv("PRINT_GOLDEN") != "" {
+		t.Logf("goldenLogits   = uint64(%#x)", hl.h)
+		t.Logf("goldenSpikes   = %d", spikes)
+		t.Logf("goldenGrads    = uint64(%#x)", hg.h)
+		t.Logf("goldenBSAPen   = %d", pen)
+		t.Logf("goldenAttnBits = uint64(%#x)", ha.h)
+		return
+	}
+	if hl.h != goldenLogits {
+		t.Errorf("logits hash %#x want %#x", hl.h, goldenLogits)
+	}
+	if spikes != goldenSpikes {
+		t.Errorf("spike count %d want %d", spikes, goldenSpikes)
+	}
+	if hg.h != goldenGrads {
+		t.Errorf("gradient hash %#x want %#x", hg.h, goldenGrads)
+	}
+	if pen != goldenBSAPen {
+		t.Errorf("BSA penalty %d want %d", pen, goldenBSAPen)
+	}
+	if ha.h != goldenAttnBits {
+		t.Errorf("attention score hash %#x want %#x", ha.h, goldenAttnBits)
+	}
+}

@@ -36,9 +36,27 @@ type block struct {
 	qKeep             [][]bool
 	kKeep             [][]bool
 	sMaps             [][]*tensor.Mat // [head][t] attention scores (N×N), post-scale
-	xf                []*tensor.Mat   // block input float view
-	r1f               []*tensor.Mat
 	otemp, r1, m1, r2 *spike.Tensor
+
+	// pooled scratch reused across the per-(head, step) attention loops:
+	// N×dh head-column copies and N×N transpose/score-gradient buffers.
+	// Indexed via scratchMat; reallocated only on shape change.
+	scratch []*tensor.Mat
+}
+
+// scratchMat returns pooled matrix #i with the given shape. Every consumer
+// fully overwrites its scratch (MatMul/MatMulT/TransposeInto/headColsInto
+// all write before reading), so no zeroing is needed on reuse.
+func (b *block) scratchMat(i, rows, cols int) *tensor.Mat {
+	for len(b.scratch) <= i {
+		b.scratch = append(b.scratch, nil)
+	}
+	m := b.scratch[i]
+	if m == nil || m.Rows != rows || m.Cols != cols {
+		m = tensor.NewMat(rows, cols)
+		b.scratch[i] = m
+	}
+	return m
 }
 
 func newBlock(idx int, cfg Config, rng *tensor.RNG) *block {
@@ -80,10 +98,27 @@ func (b *block) params() []*snn.Param {
 // headCols copies head h's columns of m into an N×dh matrix.
 func headCols(m *tensor.Mat, h, dh int) *tensor.Mat {
 	out := tensor.NewMat(m.Rows, dh)
-	for n := 0; n < m.Rows; n++ {
-		copy(out.Row(n), m.Row(n)[h*dh:(h+1)*dh])
-	}
+	headColsInto(out, m, h, dh)
 	return out
+}
+
+// headColsInto copies head h's columns of m into dst (N×dh), reusing the
+// caller's scratch instead of allocating per (head, step).
+func headColsInto(dst, m *tensor.Mat, h, dh int) {
+	for n := 0; n < m.Rows; n++ {
+		copy(dst.Row(n), m.Row(n)[h*dh:(h+1)*dh])
+	}
+}
+
+// addSpikes accumulates the binary time slice t of s into dst — the
+// current-domain residual path, without materializing a float view of the
+// spikes. Adding 1.0 exactly where bits are set matches AddInPlace on a
+// 0/1 matrix bit for bit.
+func addSpikes(dst *tensor.Mat, s *spike.Tensor, t int) {
+	for n := 0; n < s.N; n++ {
+		row := dst.Row(n)
+		s.ForEachSetToken(t, n, func(d int) { row[d]++ })
+	}
 }
 
 // addHeadCols accumulates src (N×dh) into head h's columns of dst.
@@ -115,14 +150,18 @@ func applyKeepMask(mats []*tensor.Mat, keep [][]bool) {
 }
 
 // forward runs the block on input spikes xs and returns the output spikes.
+// Every projection consumes its binary input through the spike-driven GEMM
+// (ForwardSpikes) and the residual paths add spikes directly, so the block
+// never materializes a float view of its input or MLP spike tensors; only
+// the attention Q/K/V slices are expanded (their head-sliced score GEMMs
+// and ECP keep-masks operate on float views).
 func (b *block) forward(xs *spike.Tensor, prune PruneFn) *spike.Tensor {
 	cfg := b.cfg
-	b.xf = snn.SpikesToMats(xs)
 
 	// P1: Q/K/V projections + LIF (Eq. 3–5).
-	b.q = b.lifQ.Forward(b.nQ.Forward(b.wq.Forward(b.xf)))
-	b.k = b.lifK.Forward(b.nK.Forward(b.wk.Forward(b.xf)))
-	b.v = b.lifV.Forward(b.nV.Forward(b.wv.Forward(b.xf)))
+	b.q = b.lifQ.Forward(b.nQ.Forward(b.wq.ForwardSpikes(xs)))
+	b.k = b.lifK.Forward(b.nK.Forward(b.wk.ForwardSpikes(xs)))
+	b.v = b.lifV.Forward(b.nV.Forward(b.wv.ForwardSpikes(xs)))
 
 	b.qKeep, b.kKeep = nil, nil
 	if prune != nil {
@@ -142,17 +181,20 @@ func (b *block) forward(xs *spike.Tensor, prune PruneFn) *spike.Tensor {
 	for t := 0; t < cfg.T; t++ {
 		ycat[t] = tensor.NewMat(cfg.N, cfg.D)
 	}
+	qh := b.scratchMat(0, cfg.N, dh)
+	kh := b.scratchMat(1, cfg.N, dh)
+	vh := b.scratchMat(2, cfg.N, dh)
+	y := b.scratchMat(3, cfg.N, dh)
 	for h := 0; h < cfg.Heads; h++ {
 		b.sMaps[h] = make([]*tensor.Mat, cfg.T)
 		for t := 0; t < cfg.T; t++ {
-			qh := headCols(qf[t], h, dh)
-			kh := headCols(kf[t], h, dh)
-			vh := headCols(vf[t], h, dh)
+			headColsInto(qh, qf[t], h, dh)
+			headColsInto(kh, kf[t], h, dh)
+			headColsInto(vh, vf[t], h, dh)
 			s := tensor.NewMat(cfg.N, cfg.N)
 			tensor.MatMulT(s, qh, kh)
 			s.ScaleInPlace(b.scale)
 			b.sMaps[h][t] = s
-			y := tensor.NewMat(cfg.N, dh)
 			tensor.MatMul(y, s, vh)
 			addHeadCols(ycat[t], y, h, dh)
 		}
@@ -161,24 +203,23 @@ func (b *block) forward(xs *spike.Tensor, prune PruneFn) *spike.Tensor {
 	// Eq. 7–8: LIF precedes the output projection so Wo multiplies binary
 	// activations.
 	b.otemp = b.lifO.Forward(b.nO.Forward(ycat))
-	ocur := b.wo.Forward(snn.SpikesToMats(b.otemp))
+	ocur := b.wo.ForwardSpikes(b.otemp)
 
 	// Residual 1: attention output + block input, in the current domain.
 	r1cur := make([]*tensor.Mat, cfg.T)
 	for t := range r1cur {
-		r1cur[t] = ocur[t].Clone()
-		r1cur[t].AddInPlace(b.xf[t])
+		r1cur[t] = ocur[t] // wo's output is owned here; no clone needed
+		addSpikes(r1cur[t], xs, t)
 	}
 	b.r1 = b.lifR1.Forward(b.nR1.Forward(r1cur))
-	b.r1f = snn.SpikesToMats(b.r1)
 
 	// MLP block with residual 2.
-	b.m1 = b.lifM1.Forward(b.nM1.Forward(b.w1.Forward(b.r1f)))
-	m2cur := b.w2.Forward(snn.SpikesToMats(b.m1))
+	b.m1 = b.lifM1.Forward(b.nM1.Forward(b.w1.ForwardSpikes(b.r1)))
+	m2cur := b.w2.ForwardSpikes(b.m1)
 	r2cur := make([]*tensor.Mat, cfg.T)
 	for t := range r2cur {
-		r2cur[t] = m2cur[t].Clone()
-		r2cur[t].AddInPlace(b.r1f[t])
+		r2cur[t] = m2cur[t]
+		addSpikes(r2cur[t], b.r1, t)
 	}
 	b.r2 = b.lifR2.Forward(b.nR2.Forward(r2cur))
 	return b.r2
@@ -230,20 +271,35 @@ func (b *block) backward(gradOut []*tensor.Mat, bsa *BSAConfig) []*tensor.Mat {
 		gKf[t] = tensor.NewMat(cfg.N, cfg.D)
 		gVf[t] = tensor.NewMat(cfg.N, cfg.D)
 	}
+	// Scratch layout: indices 0–3 are the forward pools (reused here where
+	// shapes allow), 4+ are backward-only. sT holds Sᵀ so the transposed
+	// products run through the register-blocked MatMul with one reusable
+	// transpose buffer instead of allocating per (head, step).
+	gy := b.scratchMat(0, cfg.N, dh)
+	vh := b.scratchMat(1, cfg.N, dh)
+	gv := b.scratchMat(2, cfg.N, dh)
+	gq := b.scratchMat(3, cfg.N, dh)
+	gk := b.scratchMat(4, cfg.N, dh)
+	kh := b.scratchMat(5, cfg.N, dh)
+	qh := b.scratchMat(6, cfg.N, dh)
+	gs := b.scratchMat(7, cfg.N, cfg.N)
+	sT := b.scratchMat(8, cfg.N, cfg.N)
 	for h := 0; h < cfg.Heads; h++ {
 		for t := 0; t < cfg.T; t++ {
-			gy := headCols(gYcat[t], h, dh)
+			headColsInto(gy, gYcat[t], h, dh)
 			s := b.sMaps[h][t]
-			vh := headCols(vf[t], h, dh)
-			gv := tensor.NewMat(cfg.N, dh)
-			tensor.MatTMul(gv, s, gy)
-			gs := tensor.NewMat(cfg.N, cfg.N)
+			headColsInto(vh, vf[t], h, dh)
+			// dV = Sᵀ·dY via explicit transpose + blocked MatMul.
+			tensor.TransposeInto(sT, s)
+			tensor.MatMul(gv, sT, gy)
 			tensor.MatMulT(gs, gy, vh)
-			gq := tensor.NewMat(cfg.N, dh)
-			tensor.MatMul(gq, gs, headCols(kf[t], h, dh))
+			headColsInto(kh, kf[t], h, dh)
+			tensor.MatMul(gq, gs, kh)
 			gq.ScaleInPlace(b.scale)
-			gk := tensor.NewMat(cfg.N, dh)
-			tensor.MatTMul(gk, gs, headCols(qf[t], h, dh))
+			// dK = dSᵀ·Q, same transpose trick.
+			tensor.TransposeInto(sT, gs)
+			headColsInto(qh, qf[t], h, dh)
+			tensor.MatMul(gk, sT, qh)
 			gk.ScaleInPlace(b.scale)
 			addHeadCols(gQf[t], gq, h, dh)
 			addHeadCols(gKf[t], gk, h, dh)
