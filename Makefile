@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json fmt fmt-check vet ci
+.PHONY: build test race bench bench-json dse-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,16 @@ bench-json:
 		{ echo "bench-json failed; last events:" >&2; tail -60 $(BENCH_OUT) >&2; exit 1; }
 	@echo "wrote $(BENCH_OUT)"
 
+# Tiny end-to-end DSE sweep (2 shapes x 2 ECP settings) through cmd/dse:
+# exercises sweep -> checkpoint -> frontier and fails if the frontier JSON
+# comes back empty. FRONTIER_OUT overrides the artifact path.
+FRONTIER_OUT ?= frontier.json
+dse-smoke:
+	@$(GO) run ./cmd/dse -models 4 -shapes 4x2,2x2 -ecp 0,10 -frontier $(FRONTIER_OUT)
+	@grep -q '"digest"' $(FRONTIER_OUT) || \
+		{ echo "dse-smoke: empty frontier in $(FRONTIER_OUT)" >&2; exit 1; }
+	@echo "wrote $(FRONTIER_OUT)"
+
 fmt:
 	gofmt -w .
 
@@ -39,4 +49,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race bench
+ci: build fmt-check vet race bench dse-smoke

@@ -1,0 +1,209 @@
+// Command dse sweeps the Bishop design space: it enumerates a declarative
+// grid (or seeded-random sample) over accel.Options × Table 2 workloads,
+// evaluates every point on the parallel simulation engine, and reports the
+// latency/energy Pareto frontier as an ASCII table and JSON artifact.
+//
+// Sweeps are resumable and shardable: with -checkpoint every evaluated
+// point is durably appended as it completes, so an interrupted run picks up
+// where it stopped; with -shard i/n the point set is partitioned
+// deterministically across n machines and the shard checkpoints merge into
+// the unsharded result.
+//
+// Usage:
+//
+//	dse -models 1,3 -splits 0.1,0.25,0.5,0.75,0.9            # θ_s balancing sweep
+//	dse -models 3 -shapes 1x2,2x2,4x2,4x4 -ecp 0,6           # TTB volume × ECP grid
+//	dse -models 1,2,3,4,5 -bsa false,true -checkpoint dse.jsonl -shard 0/4
+//	dse -random 64 -seed 7 -frontier frontier.json           # random search
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bundle"
+	"repro/internal/dse"
+)
+
+func main() {
+	models := flag.String("models", "3", "comma-separated Table 2 model indices (1-5)")
+	bsa := flag.String("bsa", "false", "comma-separated BSA axis values (false,true)")
+	shapes := flag.String("shapes", "", "comma-separated TTB shapes as BStxBSn, e.g. 4x2,2x2 (default 4x2)")
+	thetas := flag.String("thetas", "", "comma-separated stratification thresholds; -1 = split balancing (default -1)")
+	splits := flag.String("splits", "", "comma-separated dense-fraction targets for balancing (default 0.5)")
+	stratify := flag.String("stratify", "", "comma-separated stratify axis values (default true)")
+	ecp := flag.String("ecp", "", "comma-separated ECP thetas; 0 = off (default 0)")
+	random := flag.Int("random", 0, "sample N random points from the space instead of the full grid")
+	seed := flag.Uint64("seed", 1, "trace seed (and random-search seed)")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint path; enables resume")
+	shard := flag.String("shard", "", "shard spec i/n: evaluate point i mod n == i only")
+	jobs := flag.Int("jobs", 0, "parallel evaluators (0 = all CPUs)")
+	frontier := flag.String("frontier", "", "write the Pareto frontier JSON to this path")
+	flag.Parse()
+
+	space, err := parseSpace(*models, *bsa, *shapes, *thetas, *splits, *stratify, *ecp)
+	if err != nil {
+		fatal(err)
+	}
+	if err := space.Validate(); err != nil {
+		fatal(err)
+	}
+	points := space.Grid()
+	if *random > 0 {
+		points = space.Sample(*random, *seed)
+	}
+
+	cfg := dse.Config{Seed: *seed, Checkpoint: *checkpoint, Jobs: *jobs}
+	if *shard != "" {
+		if cfg.Shard, cfg.Shards, err = parseShard(*shard); err != nil {
+			fatal(err)
+		}
+	}
+
+	rs, err := dse.Sweep(context.Background(), points, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("evaluated %d points (%d reused from checkpoint or duplicates); %d/%d records (shard %d/%d, seed %d)\n\n",
+		rs.Evaluated, len(rs.Records)-rs.Evaluated, len(rs.Records), len(rs.Points),
+		cfg.Shard, max(cfg.Shards, 1), *seed)
+
+	front := dse.Frontier(rs.Records)
+	fmt.Println("latency/energy Pareto frontier:")
+	dse.FprintFrontier(os.Stdout, front)
+
+	if *frontier != "" {
+		data, err := dse.EncodeFrontier(front, len(rs.Records))
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*frontier, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d frontier points)\n", *frontier, len(front))
+	}
+	if !rs.Complete() {
+		fmt.Printf("\n%d points remain (other shards, or resume with the same -checkpoint)\n",
+			len(rs.Points)-len(rs.Records))
+	}
+}
+
+func parseSpace(models, bsa, shapes, thetas, splits, stratify, ecp string) (dse.Space, error) {
+	var s dse.Space
+	var err error
+	if s.Models, err = csvInts(models); err != nil {
+		return s, fmt.Errorf("-models: %w", err)
+	}
+	if s.BSA, err = csvBools(bsa); err != nil {
+		return s, fmt.Errorf("-bsa: %w", err)
+	}
+	if s.Shapes, err = csvShapes(shapes); err != nil {
+		return s, fmt.Errorf("-shapes: %w", err)
+	}
+	if s.ThetaS, err = csvInts(thetas); err != nil {
+		return s, fmt.Errorf("-thetas: %w", err)
+	}
+	if s.SplitTargets, err = csvFloats(splits); err != nil {
+		return s, fmt.Errorf("-splits: %w", err)
+	}
+	if s.Stratify, err = csvBools(stratify); err != nil {
+		return s, fmt.Errorf("-stratify: %w", err)
+	}
+	if s.ECPThetas, err = csvInts(ecp); err != nil {
+		return s, fmt.Errorf("-ecp: %w", err)
+	}
+	return s, nil
+}
+
+func parseShard(spec string) (shard, shards int, err error) {
+	i := strings.IndexByte(spec, '/')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("-shard: want i/n, got %q", spec)
+	}
+	if shard, err = strconv.Atoi(spec[:i]); err != nil {
+		return 0, 0, fmt.Errorf("-shard: %w", err)
+	}
+	if shards, err = strconv.Atoi(spec[i+1:]); err != nil {
+		return 0, 0, fmt.Errorf("-shard: %w", err)
+	}
+	if shards <= 0 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("-shard: %d/%d out of range", shard, shards)
+	}
+	return shard, shards, nil
+}
+
+func split(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func csvInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range split(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func csvFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range split(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func csvBools(s string) ([]bool, error) {
+	var out []bool
+	for _, p := range split(s) {
+		v, err := strconv.ParseBool(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func csvShapes(s string) ([]bundle.Shape, error) {
+	var out []bundle.Shape
+	for _, p := range split(s) {
+		i := strings.IndexByte(p, 'x')
+		if i < 0 {
+			return nil, fmt.Errorf("shape %q: want BStxBSn", p)
+		}
+		bst, err := strconv.Atoi(p[:i])
+		if err != nil {
+			return nil, err
+		}
+		bsn, err := strconv.Atoi(p[i+1:])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bundle.Shape{BSt: bst, BSn: bsn})
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dse:", strings.TrimPrefix(err.Error(), "dse: "))
+	os.Exit(1)
+}

@@ -30,6 +30,13 @@ func SimulateBatchContext(ctx context.Context, traces []*transformer.Trace, opt 
 	})
 }
 
+// SimulateSeq is Simulate without the per-layer fan-out, for callers (the
+// DSE evaluator, the batch APIs) that already saturate the worker pool at a
+// coarser granularity. The report is bit-identical to Simulate's.
+func SimulateSeq(tr *transformer.Trace, opt Options) *hw.Report {
+	return simulate(tr, opt, 1)
+}
+
 // SimulateConfigs runs one trace under several option variants concurrently
 // — the shape of every design-space sweep in the evaluation (Figs. 14–16,
 // the ECP-threshold example) — returning reports in opts order.

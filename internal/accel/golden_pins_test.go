@@ -1,0 +1,50 @@
+package accel
+
+// goldenReports pins the conformance-grid report hashes (see golden_test.go)
+// at seed 1. Regenerate with PRINT_GOLDEN=1 after an intentional change to
+// the cycle/energy models, the workload generator, or the accounting types.
+var goldenReports = []struct {
+	key  string
+	hash uint64
+}{
+	{"m1", uint64(0x403c7310888cef9d)},
+	{"m1+ecp", uint64(0xc5049b0dbd31304b)},
+	{"m1+strat", uint64(0x25bfb565049936c1)},
+	{"m1+strat+ecp", uint64(0xb397849d42721aa2)},
+	{"m1+bsa", uint64(0xe916d7533796537e)},
+	{"m1+bsa+ecp", uint64(0xaaee292140511258)},
+	{"m1+bsa+strat", uint64(0x130199e589d119d8)},
+	{"m1+bsa+strat+ecp", uint64(0x2b8b10e3640472b1)},
+	{"m2", uint64(0x22cc1c05a58a19a6)},
+	{"m2+ecp", uint64(0xb127c7ea90a3c5ec)},
+	{"m2+strat", uint64(0x91e6f57073dd410d)},
+	{"m2+strat+ecp", uint64(0xd97e65cb3e532b60)},
+	{"m2+bsa", uint64(0xa025022a8c9def22)},
+	{"m2+bsa+ecp", uint64(0xb8013316ad9019a2)},
+	{"m2+bsa+strat", uint64(0xea26a53e59d04ce0)},
+	{"m2+bsa+strat+ecp", uint64(0xbb5e809941e2f057)},
+	{"m3", uint64(0xc283e2edb86ef6aa)},
+	{"m3+ecp", uint64(0x63d7f9ca01aaf68b)},
+	{"m3+strat", uint64(0xfe4c948a2e3657c2)},
+	{"m3+strat+ecp", uint64(0x7b5dca9937525530)},
+	{"m3+bsa", uint64(0x958800c5a57dcbde)},
+	{"m3+bsa+ecp", uint64(0xeadbef260f7f0cb4)},
+	{"m3+bsa+strat", uint64(0x3e304c4c1787817e)},
+	{"m3+bsa+strat+ecp", uint64(0xafda9168dbf954a1)},
+	{"m4", uint64(0xcb2e2d1ebd5d5927)},
+	{"m4+ecp", uint64(0xde2e6e3a89d966d5)},
+	{"m4+strat", uint64(0xee715bf0508b062e)},
+	{"m4+strat+ecp", uint64(0x43e1a2b2353805db)},
+	{"m4+bsa", uint64(0x3be5ebe4a401d60b)},
+	{"m4+bsa+ecp", uint64(0x71989bb5fb4c6754)},
+	{"m4+bsa+strat", uint64(0x6137d6ad6678e3c5)},
+	{"m4+bsa+strat+ecp", uint64(0xac5bc3e02b37eb3b)},
+	{"m5", uint64(0xa26a09ffc435638b)},
+	{"m5+ecp", uint64(0xed37e989de003085)},
+	{"m5+strat", uint64(0x887f517fcd9d1530)},
+	{"m5+strat+ecp", uint64(0xe66d6b1e42a03ca6)},
+	{"m5+bsa", uint64(0x7fa31e15cf36cf01)},
+	{"m5+bsa+ecp", uint64(0x183ef690a708ee63)},
+	{"m5+bsa+strat", uint64(0x81bb493ace05ef74)},
+	{"m5+bsa+strat+ecp", uint64(0x9d7dd9e5f5bc4333)},
+}

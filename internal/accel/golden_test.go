@@ -1,0 +1,138 @@
+package accel
+
+// Golden end-to-end conformance suite: pins the exact bit patterns of the
+// full ModelZoo(1-5) × {BSA on/off} × {Stratify on/off} × {ECP on/off}
+// simulation grid at a fixed seed. Every cycle count, energy component,
+// traffic counter, and derived latency/energy/EDP value — per layer and in
+// total — feeds one FNV-1a hash per configuration, so any kernel, stats,
+// scheduler, or accounting change that drifts a report by a single bit or
+// ulp fails loudly here before it can silently skew a DSE sweep or a paper
+// figure.
+//
+// To re-pin after an *intentional* model change, run with PRINT_GOLDEN=1
+// and paste the printed table.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/hw"
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+// reportHash folds every numeric field of the report into one FNV-1a hash.
+type reportHash struct{ h uint64 }
+
+func (s *reportHash) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		s.h ^= uint64(byte(v >> (8 * i)))
+		s.h *= 1099511628211
+	}
+}
+
+func (s *reportHash) f64(v float64) { s.u64(math.Float64bits(v)) }
+
+func (s *reportHash) result(r hw.Result) {
+	s.u64(uint64(r.Cycles))
+	s.f64(r.EPE)
+	s.f64(r.EGLB)
+	s.f64(r.EDRAM)
+	s.f64(r.EStatic)
+	s.u64(uint64(r.DRAMBytes))
+	s.u64(uint64(r.GLBBytes))
+	s.u64(uint64(r.OpsAcc))
+	s.u64(uint64(r.OpsMul))
+	s.u64(uint64(r.OpsAnd))
+}
+
+func hashReport(rep *hw.Report) uint64 {
+	s := &reportHash{h: 14695981039346656037}
+	s.result(rep.Total)
+	s.f64(rep.LatencyMS())
+	s.f64(rep.EnergyMJ())
+	s.f64(rep.EDP())
+	s.u64(uint64(len(rep.Layers)))
+	for _, l := range rep.Layers {
+		s.result(l.Result)
+		s.result(l.Dense)
+		s.result(l.Sparse)
+	}
+	return s.h
+}
+
+type goldenConfig struct {
+	key                string
+	model              int
+	bsa, stratify, ecp bool
+}
+
+// goldenGrid enumerates the conformance grid in a fixed order; the key
+// encodes the configuration.
+func goldenGrid() []goldenConfig {
+	var grid []goldenConfig
+	for model := 1; model <= 5; model++ {
+		for _, bsa := range []bool{false, true} {
+			for _, stratify := range []bool{false, true} {
+				for _, ecp := range []bool{false, true} {
+					key := fmt.Sprintf("m%d", model)
+					if bsa {
+						key += "+bsa"
+					}
+					if stratify {
+						key += "+strat"
+					}
+					if ecp {
+						key += "+ecp"
+					}
+					grid = append(grid, goldenConfig{key, model, bsa, stratify, ecp})
+				}
+			}
+		}
+	}
+	return grid
+}
+
+// goldenTheta mirrors the paper's per-model ECP threshold (§6.1).
+func goldenTheta(model int) int {
+	if model == 4 {
+		return 10
+	}
+	return 6
+}
+
+const goldenSeed = 1
+
+func goldenOptions(model int, stratify, ecp bool) Options {
+	opt := DefaultOptions()
+	opt.Stratify = stratify
+	if ecp {
+		theta := goldenTheta(model)
+		opt.ECP = &bundle.ECPConfig{Shape: opt.Shape, ThetaQ: theta, ThetaK: theta}
+	}
+	return opt
+}
+
+func TestGoldenConformanceGrid(t *testing.T) {
+	want := map[string]uint64{}
+	for _, g := range goldenReports {
+		want[g.key] = g.hash
+	}
+	print := os.Getenv("PRINT_GOLDEN") != ""
+	for _, g := range goldenGrid() {
+		cfg := transformer.ModelZoo()[g.model-1]
+		tr := workload.CachedTrace(cfg, workload.Scenarios()[g.model],
+			workload.TraceOptions{BSA: g.bsa}, goldenSeed)
+		got := hashReport(Simulate(tr, goldenOptions(g.model, g.stratify, g.ecp)))
+		if print {
+			t.Logf("{%q, uint64(%#016x)},", g.key, got)
+			continue
+		}
+		if want[g.key] != got {
+			t.Errorf("%s: report hash %#016x want %#016x", g.key, got, want[g.key])
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package accel
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// EncodeOptions serializes an Options to JSON. The encoding is canonical:
+// Go's encoder emits struct fields in declaration order, so equal Options
+// always produce byte-identical JSON (which is what makes Digest stable).
+func EncodeOptions(o Options) ([]byte, error) { return json.Marshal(o) }
+
+// DecodeOptions parses an Options, rejecting unknown fields anywhere in the
+// document and trailing data — a typo'd knob in a sweep spec fails loudly
+// instead of silently running the default configuration.
+func DecodeOptions(data []byte) (Options, error) {
+	var o Options
+	if err := hw.DecodeStrict(data, &o); err != nil {
+		return Options{}, fmt.Errorf("accel: decode Options: %w", err)
+	}
+	return o, nil
+}
+
+// Digest returns a stable 64-bit FNV-1a fingerprint of the *normalized*
+// configuration. It is computed from the struct's canonical encoding, never
+// from raw input bytes, so two JSON documents with reordered fields (or one
+// spelling out the defaults the other omits) digest identically; any change
+// to an effective knob changes it.
+func (o Options) Digest() uint64 {
+	c := o
+	c.normalize()
+	if c.ECP != nil {
+		ecp := *c.ECP // digest the value, not the pointer identity
+		c.ECP = &ecp
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("accel: Options not marshalable: %v", err)) // unreachable: all fields are plain values
+	}
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,133 @@
+package accel
+
+// Property: with every input feature active, ThetaS=0 stratification routes
+// the whole workload to the dense core, so the simulation must reduce to
+// the unstratified dense-only report — the dense-core sub-result of every
+// linear layer is bit-identical, the sparse sub-result is exactly zero, and
+// the only differences in the layer totals are the explicitly modeled
+// stratifier overheads (the θ_s tag scan and the sparse-dense merge add in
+// the spike generator). Attention layers must not be touched at all.
+
+import (
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/hw"
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+// denseTrace synthesizes a trace in which every feature column carries at
+// least one spike, so θ_s=0 sends every feature dense. The generator's
+// cold tier can leave a column silent by chance, so silent columns get one
+// deterministic spike planted.
+func denseTrace(seed uint64) *transformer.Trace {
+	cfg := transformer.Config{Name: "prop", Blocks: 2, T: 4, N: 16, D: 64,
+		Heads: 4, MLPRatio: 2, PatchDim: 8, Classes: 4}
+	sc := workload.Scenario{Model: 1,
+		Density: 0.3, BundleDensity: 0.5, ZeroFrac: 0,
+		QRowHot: 1, KRowHot: 1}
+	tr := workload.SyntheticTrace(cfg, sc, workload.TraceOptions{}, seed)
+	for _, l := range tr.Layers {
+		if l.In == nil {
+			continue
+		}
+		for d := 0; d < l.In.D; d++ {
+			if l.In.CountFeature(d) == 0 {
+				l.In.Set(d%l.In.T, d%l.In.N, d, true)
+			}
+		}
+	}
+	return tr
+}
+
+func allFeaturesActive(tr *transformer.Trace, sh bundle.Shape) bool {
+	for _, l := range tr.Layers {
+		if l.In == nil {
+			continue
+		}
+		if bundle.Tag(l.In, sh).ZeroFeatureFraction() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestThetaZeroEqualsUnstratifiedDenseReport(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		tr := denseTrace(seed)
+		if !allFeaturesActive(tr, bundle.DefaultShape) {
+			t.Fatalf("seed %d: generator left a feature silent; raise the density", seed)
+		}
+
+		optS := DefaultOptions()
+		optS.ThetaS = 0
+		optD := DefaultOptions()
+		optD.Stratify = false
+		strat := Simulate(tr, optS)
+		plain := Simulate(tr, optD)
+
+		tech := optS.Tech
+		for i, sl := range strat.Layers {
+			pl := plain.Layers[i]
+			if sl.Group == "ATN" {
+				if sl.Result != pl.Result {
+					t.Fatalf("seed %d: attention layer %s drifted under stratification", seed, sl.Name)
+				}
+				continue
+			}
+			if sl.Dense != pl.Dense {
+				t.Fatalf("seed %d: layer %s dense sub-result differs:\n%+v\n%+v",
+					seed, sl.Name, sl.Dense, pl.Dense)
+			}
+			if (sl.Sparse != hw.Result{}) {
+				t.Fatalf("seed %d: layer %s sparse core must be idle: %+v", seed, sl.Name, sl.Sparse)
+			}
+			// The layer totals differ exactly by the stratifier tag scan
+			// (one comparison per feature, 32 lanes)…
+			din := traceDIn(tr, sl.Name)
+			scan := hw.CeilDiv(int64(din), 32)
+			if sl.Result.Cycles-pl.Result.Cycles != scan {
+				t.Fatalf("seed %d: layer %s cycle delta %d want the θ_s scan %d",
+					seed, sl.Name, sl.Result.Cycles-pl.Result.Cycles, scan)
+			}
+			// …and the spike generator's sparse-dense merge add.
+			neurons := float64(l3(tr, sl.Name))
+			wantEPE := neurons * tech.EAcc32
+			if diff := sl.Result.EPE - pl.Result.EPE; !approxEq(diff, wantEPE) {
+				t.Fatalf("seed %d: layer %s EPE delta %g want merge add %g", seed, sl.Name, diff, wantEPE)
+			}
+		}
+	}
+}
+
+func traceDIn(tr *transformer.Trace, name string) int {
+	for _, l := range tr.Layers {
+		if l.Name == name {
+			return l.DIn
+		}
+	}
+	return -1
+}
+
+// l3 returns T·N·DOut, the spike-generator neuron count of the named layer.
+func l3(tr *transformer.Trace, name string) int64 {
+	for _, l := range tr.Layers {
+		if l.Name == name {
+			return int64(l.In.T) * int64(l.In.N) * int64(l.DOut)
+		}
+	}
+	return -1
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-9*scale
+}

@@ -1,0 +1,123 @@
+package bundle
+
+// Property tests for the Alg. 1 stratifier over randomized traces: the
+// dense/sparse feature partition must be disjoint and exhaustive for every
+// threshold, and the §6.5.1 balancing strategy must land the dense-core
+// feature fraction where its quantile math says it will — exactly, once
+// threshold ties and zero-activity columns are accounted for.
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// randomTrace draws a tensor with randomized geometry and density from rng.
+func randomTrace(rng *tensor.RNG) *Tags {
+	T := 1 + rng.Intn(8)
+	N := 1 + rng.Intn(24)
+	D := 8 + rng.Intn(120)
+	p := 0.02 + 0.4*rng.Float64()
+	s := randomSpikes(rng.Uint64(), T, N, D, p)
+	sh := Shape{BSt: 1 + rng.Intn(4), BSn: 1 + rng.Intn(4)}
+	return Tag(s, sh)
+}
+
+func TestStratifyPartitionDisjointExhaustiveProperty(t *testing.T) {
+	rng := tensor.NewRNG(2025)
+	for trial := 0; trial < 60; trial++ {
+		tg := randomTrace(rng)
+		theta := rng.Intn(tg.NBt*tg.NBn+2) - 1
+		res := Stratify(tg, theta)
+
+		seen := make([]int, tg.D) // 0 = missing, 1 = dense, 2 = sparse
+		for _, d := range res.Dense {
+			seen[d]++
+		}
+		for _, d := range res.Sparse {
+			if seen[d] != 0 {
+				t.Fatalf("trial %d: feature %d in both partitions", trial, d)
+			}
+			seen[d] += 2
+		}
+		for d, v := range seen {
+			if v == 0 {
+				t.Fatalf("trial %d: feature %d in neither partition", trial, d)
+			}
+		}
+		if !sort.IntsAreSorted(res.Dense) || !sort.IntsAreSorted(res.Sparse) {
+			t.Fatalf("trial %d: partitions must be ascending", trial)
+		}
+		// Spike and bundle mass is conserved across the split.
+		spikes := tg.SpikesPerFeature()
+		var total int
+		for _, s := range spikes {
+			total += s
+		}
+		if res.DenseSpikes+res.SparseSpikes != total {
+			t.Fatalf("trial %d: spikes %d+%d != %d", trial, res.DenseSpikes, res.SparseSpikes, total)
+		}
+		if res.DenseBundles+res.SparseBundles != tg.ActiveBundles() {
+			t.Fatalf("trial %d: bundles %d+%d != %d", trial,
+				res.DenseBundles, res.SparseBundles, tg.ActiveBundles())
+		}
+	}
+}
+
+func TestStratifyForSplitFractionProperty(t *testing.T) {
+	rng := tensor.NewRNG(4242)
+	for trial := 0; trial < 60; trial++ {
+		tg := randomTrace(rng)
+		target := rng.Float64()
+		res := StratifyForSplit(tg, target)
+
+		active := tg.ActivePerFeature()
+		sorted := append([]int(nil), active...)
+		sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+		k := int(target*float64(len(sorted)) + 0.5)
+
+		// Exact structural contract of the balancing strategy.
+		var expect int
+		switch {
+		case k <= 0:
+			expect = 0 // θ = max activity; nothing is strictly above it
+		case k >= len(sorted):
+			expect = len(sorted)
+		default:
+			thr := sorted[k-1]
+			if thr < 1 {
+				thr = 1 // zero-activity columns never go dense
+			}
+			expect = count(active, thr)
+		}
+		if len(res.Dense) != expect {
+			t.Fatalf("trial %d: target %.3f dense %d want %d", trial, target, len(res.Dense), expect)
+		}
+
+		// Tolerance contract: the achieved fraction misses the target by at
+		// most the tie mass at the threshold plus the zero-activity columns
+		// the strategy refuses to route dense, plus rounding.
+		if k > 0 && k < len(sorted) {
+			ties := count(active, sorted[k-1]) - count(active, sorted[k-1]+1)
+			zeros := count(active, 0) - count(active, 1)
+			tol := (float64(ties) + float64(zeros) + 1) / float64(len(sorted))
+			got := res.DenseFraction()
+			if got < target-tol || got > target+tol {
+				t.Fatalf("trial %d: target %.3f got %.3f beyond tolerance %.3f (ties %d zeros %d)",
+					trial, target, got, tol, ties, zeros)
+			}
+		}
+	}
+}
+
+// count returns how many values are >= thr.
+func count(vals []int, thr int) int {
+	var c int
+	for _, v := range vals {
+		if v >= thr {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,90 @@
+package dse
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/hw"
+)
+
+// checkpoint is an append-only JSONL record store: one Record per line.
+// Appends happen record-by-record as evaluations complete, so a killed
+// sweep loses at most the in-flight points; a torn final line (the process
+// died mid-write) is tolerated on load and overwritten-by-append harmlessly
+// — the interrupted point simply re-evaluates on resume.
+type checkpoint struct {
+	path string
+	f    *os.File
+	recs []Record
+}
+
+// openCheckpoint loads the existing records of path (if any) and opens it
+// for appending, creating it when absent.
+func openCheckpoint(path string) (*checkpoint, error) {
+	c := &checkpoint{path: path}
+	if data, err := os.ReadFile(path); err == nil {
+		c.recs = parseRecords(data)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("dse: read checkpoint: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dse: open checkpoint: %w", err)
+	}
+	c.f = f
+	return c, nil
+}
+
+// parseRecords decodes JSONL content, skipping blank and malformed lines
+// (strictly: unknown fields also reject a line, so records written by a
+// different schema version are re-evaluated rather than half-read).
+func parseRecords(data []byte) []Record {
+	var recs []Record
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := hw.DecodeStrict(line, &r); err != nil {
+			continue
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// Records returns the records loaded at open time.
+func (c *checkpoint) Records() []Record { return c.recs }
+
+// Append writes one record as a JSON line and flushes it to the OS before
+// returning, making the record durable against a process kill. The caller
+// serializes Append calls.
+func (c *checkpoint) Append(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("dse: marshal record: %w", err)
+	}
+	if _, err := c.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("dse: append checkpoint: %w", err)
+	}
+	return c.f.Sync()
+}
+
+func (c *checkpoint) Close() error { return c.f.Close() }
+
+// LoadCheckpoint reads the records of a checkpoint file without opening it
+// for writing — the query side (Pareto extraction over a finished sweep,
+// merging shard files).
+func LoadCheckpoint(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dse: read checkpoint: %w", err)
+	}
+	return parseRecords(data), nil
+}

@@ -1,0 +1,230 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/hw"
+	"repro/internal/sched"
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+// Record is the persisted outcome of evaluating one point: the coordinate
+// itself (so a checkpoint is self-describing), the headline metrics, and the
+// per-group totals the sensitivity figures query. JSON numbers round-trip
+// bit-exactly (encoding/json emits shortest-round-trip floats), which is
+// what makes resumed and sharded sweeps merge bit-identically.
+type Record struct {
+	Index  int    `json:"index"`  // position in the enumerated point set
+	Digest string `json:"digest"` // %016x of Point.Digest
+	Model  int    `json:"model"`
+	BSA    bool   `json:"bsa"`
+	Seed   uint64 `json:"seed"`
+
+	Opt accel.Options `json:"opt"`
+
+	LatencyMS float64 `json:"latency_ms"`
+	EnergyMJ  float64 `json:"energy_mj"`
+	EDP       float64 `json:"edp"` // pJ·s
+
+	Total      hw.Result            `json:"total"`
+	GroupOrder []string             `json:"group_order"`
+	Groups     map[string]hw.Result `json:"groups"`
+}
+
+// Point reconstructs the design-space coordinate of the record.
+func (r Record) Point() Point { return Point{Model: r.Model, BSA: r.BSA, Opt: r.Opt} }
+
+// NonGroupTotal sums the group totals for every group except the named one,
+// in group order — e.g. the projection/MLP share when excluding "ATN".
+func (r Record) NonGroupTotal(exclude string) hw.Result {
+	var t hw.Result
+	for _, g := range r.GroupOrder {
+		if g != exclude {
+			t.Add(r.Groups[g])
+		}
+	}
+	return t
+}
+
+// digestKey renders a point digest the way checkpoints store it.
+func digestKey(p Point) string { return fmt.Sprintf("%016x", p.Digest()) }
+
+// Evaluate simulates one point at the given trace seed and returns its
+// record. The synthetic trace comes from the process-wide workload cache
+// (keyed by model/scenario/seed — the TTB shape under sweep is a hardware
+// knob, the trace itself is always generated at the default bundle shape,
+// matching the paper's §6.5 methodology), so sweeping hardware axes reuses
+// one trace per (model, BSA) pair.
+func Evaluate(p Point, seed uint64) Record {
+	cfg := transformer.ModelZoo()[p.Model-1]
+	sc := workload.Scenarios()[p.Model]
+	tr := workload.CachedTrace(cfg, sc, workload.TraceOptions{BSA: p.BSA}, seed)
+	rep := accel.SimulateSeq(tr, p.Opt)
+	order, totals := rep.GroupTotals()
+	return Record{
+		Digest: digestKey(p), Model: p.Model, BSA: p.BSA, Seed: seed, Opt: p.Opt,
+		LatencyMS: rep.LatencyMS(), EnergyMJ: rep.EnergyMJ(), EDP: rep.EDP(),
+		Total: rep.Total, GroupOrder: order, Groups: totals,
+	}
+}
+
+// Config parameterizes one sweep invocation.
+type Config struct {
+	Seed uint64 // trace seed shared by every point
+
+	// Checkpoint is the JSONL record file. Non-empty makes the sweep
+	// resumable: points whose digest already appears in the file are not
+	// re-evaluated, and every fresh evaluation is appended as it completes.
+	Checkpoint string
+
+	// Shard i of Shards partitions the point set deterministically by
+	// enumeration index (point i belongs to shard i mod Shards), so n
+	// machines given the same spec and -shard 0/n … (n-1)/n cover the space
+	// exactly once. Zero values mean "the whole space".
+	Shard, Shards int
+
+	Jobs int // parallel evaluators (<=0 → GOMAXPROCS)
+}
+
+func (c *Config) normalize() error {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shard < 0 || c.Shard >= c.Shards {
+		return fmt.Errorf("dse: shard %d outside [0,%d)", c.Shard, c.Shards)
+	}
+	return nil
+}
+
+// ResultSet is the merged outcome of a sweep: every record available for the
+// requested point set (freshly evaluated, or recovered from the checkpoint —
+// including records another shard contributed to a shared checkpoint file),
+// in point-enumeration order.
+type ResultSet struct {
+	Points  []Point
+	Records []Record
+	// Evaluated counts the points this Sweep call simulated fresh; the
+	// remaining Records were recovered from the checkpoint.
+	Evaluated int
+}
+
+// Complete reports whether every point of the set has a record.
+func (rs *ResultSet) Complete() bool { return len(rs.Records) == len(rs.Points) }
+
+// ByDigest returns the record for the given point, if present.
+func (rs *ResultSet) ByDigest(p Point) (Record, bool) {
+	key := digestKey(p)
+	for _, r := range rs.Records {
+		if r.Digest == key {
+			return r, true
+		}
+	}
+	return Record{}, false
+}
+
+// Sweep evaluates the shard-assigned subset of points that is not already
+// checkpointed, appending each record to the checkpoint as it lands, and
+// returns the merged result set. On cancellation the records completed so
+// far are already durable in the checkpoint and the error is returned; a
+// later call with the same arguments resumes where the sweep stopped.
+func Sweep(ctx context.Context, points []Point, cfg Config) (*ResultSet, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	done := map[string]Record{}
+	var ckpt *checkpoint
+	if cfg.Checkpoint != "" {
+		var err error
+		if ckpt, err = openCheckpoint(cfg.Checkpoint); err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+		for _, r := range ckpt.Records() {
+			// A record from a different trace seed describes a different
+			// experiment: never let it satisfy this sweep's points.
+			if r.Seed == cfg.Seed {
+				done[r.Digest] = r
+			}
+		}
+	}
+
+	// Shard partition, then drop points that are already evaluated —
+	// checkpointed at this seed, or duplicated within the point set itself
+	// (seeded-random samples repeat coordinates). Digests key the skip test
+	// so a checkpoint survives re-ordering of the spec; indices are
+	// recomputed from the current enumeration.
+	var todo []int
+	queued := map[string]bool{}
+	for i := range points {
+		if i%cfg.Shards != cfg.Shard {
+			continue
+		}
+		key := digestKey(points[i])
+		if _, ok := done[key]; ok || queued[key] {
+			continue
+		}
+		queued[key] = true
+		todo = append(todo, i)
+	}
+
+	var mu sync.Mutex
+	fresh := map[string]Record{}
+	err := sched.Map(ctx, len(todo), cfg.Jobs, func(k int) error {
+		i := todo[k]
+		rec := Evaluate(points[i], cfg.Seed)
+		rec.Index = i
+		mu.Lock()
+		defer mu.Unlock()
+		if ckpt != nil {
+			if werr := ckpt.Append(rec); werr != nil {
+				return werr
+			}
+		}
+		fresh[rec.Digest] = rec
+		return nil
+	})
+
+	rs := &ResultSet{Points: points, Evaluated: len(fresh)}
+	for i, p := range points {
+		key := digestKey(p)
+		rec, ok := fresh[key]
+		if !ok {
+			if rec, ok = done[key]; !ok {
+				continue // not evaluated (other shard, or cancelled)
+			}
+		}
+		rec.Index = i
+		rs.Records = append(rs.Records, rec)
+	}
+	return rs, err
+}
+
+// Merge combines result sets from different shards (or checkpoint loads)
+// over the same point enumeration into one set in point order. Duplicate
+// digests collapse to a single record — evaluation is deterministic, so any
+// copy is the same record.
+func Merge(sets ...*ResultSet) *ResultSet {
+	if len(sets) == 0 {
+		return &ResultSet{}
+	}
+	byDigest := map[string]Record{}
+	for _, s := range sets {
+		for _, r := range s.Records {
+			byDigest[r.Digest] = r
+		}
+	}
+	out := &ResultSet{Points: sets[0].Points}
+	for i, p := range out.Points {
+		if rec, ok := byDigest[digestKey(p)]; ok {
+			rec.Index = i
+			out.Records = append(out.Records, rec)
+		}
+	}
+	sort.SliceStable(out.Records, func(a, b int) bool { return out.Records[a].Index < out.Records[b].Index })
+	return out
+}

@@ -1,0 +1,131 @@
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Objective is one axis of a Pareto extraction; smaller is better.
+type Objective struct {
+	Name  string
+	Value func(Record) float64
+}
+
+// The three headline objectives of the evaluation.
+var (
+	Latency = Objective{Name: "latency_ms", Value: func(r Record) float64 { return r.LatencyMS }}
+	Energy  = Objective{Name: "energy_mj", Value: func(r Record) float64 { return r.EnergyMJ }}
+	EDP     = Objective{Name: "edp", Value: func(r Record) float64 { return r.EDP }}
+)
+
+// Frontier extracts the Pareto-optimal records under the given objectives
+// (all minimized; default latency+energy — EDP is monotone in both, so the
+// latency/energy frontier already contains every EDP-optimal point). Records
+// are deduplicated by digest first; the frontier comes back sorted by the
+// first objective, ties by the second, then digest, so the output is stable
+// across evaluation order.
+func Frontier(recs []Record, objs ...Objective) []Record {
+	if len(objs) == 0 {
+		objs = []Objective{Latency, Energy}
+	}
+	seen := map[string]bool{}
+	var pts []Record
+	for _, r := range recs {
+		if !seen[r.Digest] {
+			seen[r.Digest] = true
+			pts = append(pts, r)
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		for _, o := range objs {
+			va, vb := o.Value(pts[a]), o.Value(pts[b])
+			if va != vb {
+				return va < vb
+			}
+		}
+		return pts[a].Digest < pts[b].Digest
+	})
+	dominates := func(a, b Record) bool {
+		strict := false
+		for _, o := range objs {
+			va, vb := o.Value(a), o.Value(b)
+			if va > vb {
+				return false
+			}
+			if va < vb {
+				strict = true
+			}
+		}
+		return strict
+	}
+	var front []Record
+	for _, p := range pts {
+		dominated := false
+		for _, f := range front {
+			if dominates(f, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front
+}
+
+// FrontierJSON is the serialized frontier artifact cmd/dse emits and CI
+// archives.
+type FrontierJSON struct {
+	Objectives []string `json:"objectives"`
+	Evaluated  int      `json:"evaluated"` // records the frontier was drawn from
+	Points     []Record `json:"points"`
+}
+
+// EncodeFrontier packages a frontier with its provenance as indented JSON.
+func EncodeFrontier(front []Record, evaluated int, objs ...Objective) ([]byte, error) {
+	if len(objs) == 0 {
+		objs = []Objective{Latency, Energy}
+	}
+	fj := FrontierJSON{Evaluated: evaluated, Points: front}
+	for _, o := range objs {
+		fj.Objectives = append(fj.Objectives, o.Name)
+	}
+	return json.MarshalIndent(fj, "", "  ")
+}
+
+// FprintFrontier renders the frontier as an aligned ASCII table.
+func FprintFrontier(w io.Writer, front []Record) {
+	rows := [][]string{{"point", "latency(ms)", "energy(mJ)", "EDP(pJ.s)"}}
+	for _, r := range front {
+		rows = append(rows, []string{r.Point().Label(),
+			fmt.Sprintf("%.4f", r.LatencyMS),
+			fmt.Sprintf("%.4f", r.EnergyMJ),
+			fmt.Sprintf("%.4g", r.EDP)})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		parts := make([]string, len(row))
+		for i, c := range row {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+		if ri == 0 {
+			sep := make([]string, len(row))
+			for i := range sep {
+				sep[i] = strings.Repeat("-", widths[i])
+			}
+			fmt.Fprintln(w, "  "+strings.Join(sep, "  "))
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package dse is the design-space exploration engine: it turns the Bishop
+// accelerator model into a searchable design space. A Space declares axes
+// over accel.Options (array geometry, TTB volume, stratification threshold /
+// split target, ECP threshold, tech node) crossed with workload scenarios
+// (Table 2 model × ±BSA); the engine enumerates grid or seeded-random point
+// sets, evaluates them in parallel on the sched worker pool against cached
+// synthetic traces, persists every evaluated point to a resumable/shardable
+// JSONL checkpoint, and extracts latency/energy/EDP Pareto frontiers.
+package dse
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/bundle"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+	"repro/internal/transformer"
+)
+
+// Point is one design-space coordinate: a workload scenario plus a full
+// accelerator configuration. Points are pure values; their identity is the
+// Digest, which is what the checkpoint and sharding machinery key on.
+type Point struct {
+	Model int  // Table 2 model index (1–5)
+	BSA   bool // use the BSA-trained activity statistics
+	Opt   accel.Options
+}
+
+// Digest fingerprints the point: the workload coordinates folded into the
+// normalized-Options digest. Stable across JSON field ordering and across
+// processes.
+func (p Point) Digest() uint64 {
+	h := p.Opt.Digest()
+	const prime64 = 1099511628211
+	h ^= uint64(p.Model)
+	h *= prime64
+	if p.BSA {
+		h ^= 1
+		h *= prime64
+	}
+	return h
+}
+
+// Label renders the point compactly for tables and logs.
+func (p Point) Label() string {
+	o := p.Opt
+	s := fmt.Sprintf("m%d", p.Model)
+	if p.BSA {
+		s += "+bsa"
+	}
+	s += fmt.Sprintf(" %dx%d", o.Shape.BSt, o.Shape.BSn)
+	if !o.Stratify {
+		s += " homo"
+	} else if o.ThetaS >= 0 {
+		s += fmt.Sprintf(" th%d", o.ThetaS)
+	} else {
+		s += fmt.Sprintf(" split%.2f", o.SplitTarget)
+	}
+	if o.ECP != nil {
+		s += fmt.Sprintf(" ecp%d", o.ECP.ThetaQ)
+	}
+	return s
+}
+
+// Space declares the sweep axes. Empty axes take the single-element default
+// noted on each field, so a zero Space describes exactly one point: Model 3
+// under the full-featured Bishop configuration.
+type Space struct {
+	Models []int  // Table 2 indices (default {3})
+	BSA    []bool // default {false}
+
+	Shapes       []bundle.Shape // TTB volumes (default {bundle.DefaultShape})
+	ThetaS       []int          // stratification thresholds; -1 = balancing (default {-1})
+	SplitTargets []float64      // dense fractions, crossed only with ThetaS=-1 (default {0.5})
+	Stratify     []bool         // default {true}; false = homogeneous dense-only ablation
+	ECPThetas    []int          // ECP θ_p; 0 = pruning off (default {0})
+
+	Arrays []hw.ArrayConfig // compute provisioning (default {hw.BishopArray()})
+	Techs  []hw.Tech        // technology node (default {hw.Default28nm()})
+}
+
+func (s Space) normalized() Space {
+	if len(s.Models) == 0 {
+		s.Models = []int{3}
+	}
+	if len(s.BSA) == 0 {
+		s.BSA = []bool{false}
+	}
+	if len(s.Shapes) == 0 {
+		s.Shapes = []bundle.Shape{bundle.DefaultShape}
+	}
+	if len(s.ThetaS) == 0 {
+		s.ThetaS = []int{-1}
+	}
+	if len(s.SplitTargets) == 0 {
+		s.SplitTargets = []float64{0.5}
+	}
+	if len(s.Stratify) == 0 {
+		s.Stratify = []bool{true}
+	}
+	if len(s.ECPThetas) == 0 {
+		s.ECPThetas = []int{0}
+	}
+	if len(s.Arrays) == 0 {
+		s.Arrays = []hw.ArrayConfig{hw.BishopArray()}
+	}
+	if len(s.Techs) == 0 {
+		s.Techs = []hw.Tech{hw.Default28nm()}
+	}
+	return s
+}
+
+// Validate reports an invalid axis value (models out of Table 2 range,
+// non-positive bundle shapes) before a sweep burns time on it.
+func (s Space) Validate() error {
+	n := s.normalized()
+	zoo := len(transformer.ModelZoo())
+	for _, m := range n.Models {
+		if m < 1 || m > zoo {
+			return fmt.Errorf("dse: model %d outside Table 2 range 1–%d", m, zoo)
+		}
+	}
+	for _, sh := range n.Shapes {
+		if sh.BSt <= 0 || sh.BSn <= 0 {
+			return fmt.Errorf("dse: invalid TTB shape %+v", sh)
+		}
+	}
+	for _, f := range n.SplitTargets {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("dse: split target %g outside [0,1]", f)
+		}
+	}
+	for _, th := range n.ECPThetas {
+		if th < 0 {
+			return fmt.Errorf("dse: negative ECP theta %d", th)
+		}
+	}
+	return nil
+}
+
+// makePoint assembles one coordinate from axis values. ECP θ=0 means
+// pruning off; the ECP shape always follows the point's TTB shape. Knobs
+// that cannot affect the simulation (the split target under an explicit
+// threshold, both stratifier knobs on the homogeneous core) are pinned to
+// their defaults so equivalent configurations digest identically.
+func makePoint(model int, bsa bool, sh bundle.Shape, stratify bool,
+	thetaS int, split float64, ecpTheta int, arr hw.ArrayConfig, tech hw.Tech) Point {
+	if !stratify {
+		thetaS, split = -1, 0.5
+	} else if thetaS >= 0 {
+		split = 0.5
+	}
+	opt := accel.Options{
+		Tech: tech, Array: arr, Shape: sh,
+		Stratify: stratify, ThetaS: thetaS, SplitTarget: split,
+	}
+	if ecpTheta > 0 {
+		opt.ECP = &bundle.ECPConfig{Shape: sh, ThetaQ: ecpTheta, ThetaK: ecpTheta}
+	}
+	return Point{Model: model, BSA: bsa, Opt: opt}
+}
+
+// Grid enumerates the full cross product in a fixed nested order (models
+// outermost, tech innermost). ThetaS ≥ 0 fixes the threshold directly and
+// is not crossed with SplitTargets (the split target only matters to the
+// balancing strategy), so the grid holds no aliased duplicates. The order
+// is deterministic: it defines each point's index for sharding.
+func (s Space) Grid() []Point {
+	n := s.normalized()
+	var pts []Point
+	for _, m := range n.Models {
+		for _, bsa := range n.BSA {
+			for _, sh := range n.Shapes {
+				for _, strat := range n.Stratify {
+					thetas := n.ThetaS
+					if !strat {
+						thetas = thetas[:1] // threshold unused on the homogeneous core
+					}
+					for _, th := range thetas {
+						splits := n.SplitTargets
+						if !strat || th >= 0 {
+							splits = splits[:1]
+						}
+						for _, sp := range splits {
+							for _, ecp := range n.ECPThetas {
+								for _, arr := range n.Arrays {
+									for _, tech := range n.Techs {
+										pts = append(pts, makePoint(m, bsa, sh, strat, th, sp, ecp, arr, tech))
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Sample draws count points from the space with a seeded RNG: each axis is
+// sampled independently and uniformly, the seeded-random search mode for
+// grids too large to enumerate. Duplicate coordinates are kept (the sweep
+// engine dedupes by digest), and the sequence is fully determined by seed.
+func (s Space) Sample(count int, seed uint64) []Point {
+	n := s.normalized()
+	rng := tensor.NewRNG(seed)
+	pick := func(k int) int { return rng.Intn(k) }
+	pts := make([]Point, 0, count)
+	for i := 0; i < count; i++ {
+		m := n.Models[pick(len(n.Models))]
+		bsa := n.BSA[pick(len(n.BSA))]
+		sh := n.Shapes[pick(len(n.Shapes))]
+		strat := n.Stratify[pick(len(n.Stratify))]
+		th := n.ThetaS[pick(len(n.ThetaS))]
+		sp := n.SplitTargets[pick(len(n.SplitTargets))]
+		ecp := n.ECPThetas[pick(len(n.ECPThetas))]
+		arr := n.Arrays[pick(len(n.Arrays))]
+		tech := n.Techs[pick(len(n.Techs))]
+		if !strat {
+			th = n.ThetaS[0]
+		}
+		if !strat || th >= 0 {
+			sp = n.SplitTargets[0]
+		}
+		pts = append(pts, makePoint(m, bsa, sh, strat, th, sp, ecp, arr, tech))
+	}
+	return pts
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/baseline/gpu"
 	"repro/internal/baseline/ptb"
 	"repro/internal/bundle"
+	"repro/internal/dse"
 	"repro/internal/hw"
 	"repro/internal/sched"
 	"repro/internal/transformer"
@@ -251,36 +252,45 @@ func Summary(seed uint64) *Table {
 	return t
 }
 
+// sweep runs an in-memory DSE pass over the space's grid and returns its
+// records in grid order; §6.5 figures are thin queries over this output.
+func sweep(space dse.Space, seed uint64) []dse.Record {
+	rs, err := dse.Sweep(context.Background(), space.Grid(), dse.Config{Seed: seed})
+	if err != nil {
+		panic(err) // in-memory sweeps fail only on a worker panic
+	}
+	if !rs.Complete() {
+		panic("experiments: incomplete DSE sweep")
+	}
+	return rs.Records
+}
+
 // Fig15 reproduces the stratification-threshold design-space exploration on
-// Model 3: energy, latency, and EDP across dense/sparse split targets.
+// Model 3 — energy, latency, and EDP across dense/sparse split targets — as
+// a query over the DSE engine's output.
 func Fig15(seed uint64) *Table {
-	tr := traceFor(3, false, seed)
 	t := &Table{ID: "fig15", Title: "Stratification split sweep, Model 3 (Fig. 15)",
 		Header: []string{"Dense-fraction", "Latency(ms)", "Energy(mJ)", "EDP(norm)"}}
-	pRep := ptb.Simulate(tr, ptb.DefaultOptions())
 	fracs := []float64{0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9}
-	opts := make([]accel.Options, len(fracs))
-	for i, frac := range fracs {
-		opts[i] = accel.DefaultOptions()
-		opts[i].SplitTarget = frac
-	}
-	reps := accel.SimulateConfigs(tr, opts)
+	recs := sweep(dse.Space{Models: []int{3}, SplitTargets: fracs}, seed)
+	pRep := ptb.Simulate(traceFor(3, false, seed), ptb.DefaultOptions())
 	var best float64
-	for _, rep := range reps {
-		if edp := rep.EDP(); best == 0 || edp < best {
-			best = edp
+	for _, rec := range recs {
+		if best == 0 || rec.EDP < best {
+			best = rec.EDP
 		}
 	}
 	for i, frac := range fracs {
-		t.AddRow(pct(frac), f4(reps[i].LatencyMS()), f4(reps[i].EnergyMJ()), f2(reps[i].EDP()/best))
+		t.AddRow(pct(frac), f4(recs[i].LatencyMS), f4(recs[i].EnergyMJ), f2(recs[i].EDP/best))
 	}
 	t.AddRow("PTB", f4(pRep.LatencyMS()), f4(pRep.EnergyMJ()), f2(pRep.EDP()/best))
 	t.Note("paper: balanced split gives 2.49x EDP improvement over PTB; imbalance degrades EDP up to 1.65x")
 	return t
 }
 
-// Fig16 reproduces the TTB bundle-volume sensitivity on Model 3: energy and
-// latency for attention and projection/MLP layers across (BSt, BSn).
+// Fig16 reproduces the TTB bundle-volume sensitivity on Model 3 — energy and
+// latency for attention and projection/MLP layers across (BSt, BSn) — as a
+// query over the DSE engine's output (the ECP threshold follows §6.1).
 func Fig16(seed uint64) *Table {
 	t := &Table{ID: "fig16", Title: "TTB volume (BSt,BSn) sensitivity, Model 3 (Fig. 16)",
 		Header: []string{"BSt", "BSn", "Volume", "Lat(ms)", "En(mJ)", "ATN-lat", "Lin-lat"}}
@@ -288,27 +298,16 @@ func Fig16(seed uint64) *Table {
 		{BSt: 1, BSn: 2}, {BSt: 2, BSn: 1}, {BSt: 2, BSn: 2}, {BSt: 2, BSn: 4},
 		{BSt: 4, BSn: 2}, {BSt: 4, BSn: 4}, {BSt: 2, BSn: 7}, {BSt: 4, BSn: 14},
 	}
-	tr := traceFor(3, false, seed)
-	opts := make([]accel.Options, len(shapes))
+	recs := sweep(dse.Space{Models: []int{3}, Shapes: shapes,
+		ECPThetas: []int{paperTheta(3)}}, seed)
 	for i, sh := range shapes {
-		opts[i] = accel.DefaultOptions()
-		opts[i].Shape = sh
-		theta := paperTheta(3)
-		opts[i].ECP = &bundle.ECPConfig{Shape: sh, ThetaQ: theta, ThetaK: theta}
-	}
-	reps := accel.SimulateConfigs(tr, opts)
-	for i, sh := range shapes {
-		rep := reps[i]
-		atn := rep.AttentionTotal()
-		var lin hw.Result
-		for _, l := range rep.Layers {
-			if l.Group != "ATN" {
-				lin.Add(l.Result)
-			}
-		}
+		rec := recs[i]
+		tech := rec.Opt.Tech
+		atn := rec.Groups["ATN"]
+		lin := rec.NonGroupTotal("ATN")
 		t.AddRow(fmt.Sprint(sh.BSt), fmt.Sprint(sh.BSn), fmt.Sprint(sh.Volume()),
-			f4(rep.LatencyMS()), f4(rep.EnergyMJ()),
-			f4(atn.LatencyMS(rep.Tech)), f4(lin.LatencyMS(rep.Tech)))
+			f4(rec.LatencyMS), f4(rec.EnergyMJ),
+			f4(atn.LatencyMS(tech)), f4(lin.LatencyMS(tech)))
 	}
 	t.Note("paper: volumes of 4-8 are near-optimal; very small volumes lose reuse, very large ones bundle idle tokens")
 	return t

@@ -1,0 +1,58 @@
+package hw
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// JSON codecs for the accounting types. Every field of Result, LayerReport,
+// Report, Tech, and ArrayConfig is an exported value type, so the default
+// encoding already round-trips; what these helpers add is *strictness*:
+// decoding rejects unknown fields, which turns a schema drift between the
+// writer and reader of a DSE checkpoint into a loud error instead of a
+// silently dropped metric.
+
+// EncodeResult serializes a Result to JSON.
+func EncodeResult(r Result) ([]byte, error) { return json.Marshal(r) }
+
+// DecodeResult parses a Result, rejecting unknown fields and trailing data.
+func DecodeResult(data []byte) (Result, error) {
+	var r Result
+	if err := decodeStrict(data, &r); err != nil {
+		return Result{}, fmt.Errorf("hw: decode Result: %w", err)
+	}
+	return r, nil
+}
+
+// EncodeReport serializes a Report to JSON.
+func EncodeReport(r *Report) ([]byte, error) { return json.Marshal(r) }
+
+// DecodeReport parses a Report, rejecting unknown fields anywhere in the
+// document (including nested layer results) and trailing data.
+func DecodeReport(data []byte) (*Report, error) {
+	r := &Report{}
+	if err := decodeStrict(data, r); err != nil {
+		return nil, fmt.Errorf("hw: decode Report: %w", err)
+	}
+	return r, nil
+}
+
+// decodeStrict unmarshals into v with unknown fields disallowed and verifies
+// the input holds exactly one JSON value.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// DecodeStrict is the shared strict-decoding helper for the packages that
+// serialize configurations referencing hw types (accel.Options, the DSE
+// checkpoint records).
+func DecodeStrict(data []byte, v any) error { return decodeStrict(data, v) }

@@ -1,0 +1,139 @@
+package hw
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func sampleResult(k float64) Result {
+	return Result{
+		Cycles: int64(1000 * k), EPE: 1.25 * k, EGLB: 0.5 * k,
+		EDRAM: 1e9 * k, EStatic: 1.0 / (3 * k), DRAMBytes: int64(77 * k),
+		GLBBytes: int64(13 * k), OpsAcc: int64(5 * k), OpsMul: 0, OpsAnd: int64(k),
+	}
+}
+
+func sampleReport() *Report {
+	rep := &Report{Name: "Bishop", Tech: Default28nm()}
+	rep.Layers = []LayerReport{
+		{Block: 0, Group: "P1", Name: "blk0.Wq", Core: "dense+sparse",
+			Result: sampleResult(1), Dense: sampleResult(0.5), Sparse: sampleResult(0.25)},
+		{Block: 0, Group: "ATN", Name: "blk0.attn", Core: "attention",
+			Result: sampleResult(3)},
+	}
+	rep.Finalize()
+	return rep
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	// 1/(3k) and the DRAM-background charge are not exactly representable;
+	// the codec must round-trip them bit-exactly anyway.
+	for _, k := range []float64{1, 3, 7.77, 1e-9, 1e12} {
+		in := sampleResult(k)
+		data, err := EncodeResult(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodeResult(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in != out {
+			t.Fatalf("round trip drifted:\n in %+v\nout %+v", in, out)
+		}
+		if math.Float64bits(in.EStatic) != math.Float64bits(out.EStatic) {
+			t.Fatal("EStatic bits drifted")
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	in := sampleReport()
+	data, err := EncodeReport(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip drifted:\n in %+v\nout %+v", in, out)
+	}
+	// Derived metrics recompute identically from the decoded report.
+	if in.LatencyMS() != out.LatencyMS() || in.EnergyMJ() != out.EnergyMJ() || in.EDP() != out.EDP() {
+		t.Fatal("derived metrics drifted")
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	cases := []string{
+		`{"Cycles": 1, "Bogus": 2}`,
+		`{"Cycles": 1} {"Cycles": 2}`, // trailing value
+	}
+	for _, c := range cases {
+		if _, err := DecodeResult([]byte(c)); err == nil {
+			t.Errorf("DecodeResult(%q) must fail", c)
+		}
+	}
+	// Unknown fields are rejected even nested inside layers.
+	bad := `{"Name":"x","Layers":[{"Result":{"Cyclez":1}}]}`
+	if _, err := DecodeReport([]byte(bad)); err == nil {
+		t.Error("DecodeReport must reject unknown nested field")
+	}
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	seed, err := EncodeResult(sampleResult(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(seed))
+	f.Add(`{"Cycles": 12}`)
+	f.Add(`{"Cycles": -1, "EPE": 1e308}`)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, data string) {
+		r, err := DecodeResult([]byte(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same value:
+		// decode∘encode is the identity on the codec's image.
+		enc, err := EncodeResult(r)
+		if err != nil {
+			t.Fatalf("decoded value does not re-encode: %v", err)
+		}
+		r2, err := DecodeResult(enc)
+		if err != nil {
+			t.Fatalf("re-encoded value does not decode: %v", err)
+		}
+		if r != r2 && !(math.IsNaN(r.EPE) || math.IsNaN(r.EGLB) || math.IsNaN(r.EDRAM) || math.IsNaN(r.EStatic)) {
+			t.Fatalf("decode∘encode not identity: %+v vs %+v", r, r2)
+		}
+	})
+}
+
+func FuzzDecodeReport(f *testing.F) {
+	seed, err := EncodeReport(sampleReport())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(seed))
+	f.Add(`{"Name":"a","Layers":[]}`)
+	f.Add(`{"Layers":[{"Group":"P1"}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		rep, err := DecodeReport([]byte(data))
+		if err != nil {
+			return
+		}
+		enc, err := EncodeReport(rep)
+		if err != nil {
+			t.Fatalf("decoded report does not re-encode: %v", err)
+		}
+		if _, err := DecodeReport(enc); err != nil {
+			t.Fatalf("re-encoded report does not decode: %v", err)
+		}
+	})
+}
