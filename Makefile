@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json dse-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-json dse-smoke trace-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,29 @@ dse-smoke:
 		{ echo "dse-smoke: empty frontier in $(FRONTIER_OUT)" >&2; exit 1; }
 	@echo "wrote $(FRONTIER_OUT)"
 
+# Trace-store smoke: pack a tiny trace set, verify it, run a 2-shard
+# cmd/dse sweep against the shared -trace-dir (each shard must *hit* the
+# store, not regenerate), and check the sharded records are bit-identical
+# to an unsharded regenerate-per-process sweep. TRACE_DIR overrides the
+# store path.
+TRACE_DIR ?= traces
+trace-smoke:
+	@rm -f trace-shard0.jsonl trace-shard1.jsonl trace-full.jsonl trace-sharded.jsonl trace-unsharded.jsonl
+	@$(GO) run ./cmd/trace pack -models 4 -bsa false,true -seed 1 -dir $(TRACE_DIR)
+	@$(GO) run ./cmd/trace verify $(TRACE_DIR)/*.btrc
+	@out=$$($(GO) run ./cmd/dse -models 4 -bsa false,true -ecp 0,10 -trace-dir $(TRACE_DIR) -shard 0/2 -checkpoint trace-shard0.jsonl); \
+		echo "$$out" | grep -q 'trace store .*: [1-9][0-9]* hits' || \
+		{ echo "trace-smoke: shard 0 did not read the shared store" >&2; exit 1; }
+	@out=$$($(GO) run ./cmd/dse -models 4 -bsa false,true -ecp 0,10 -trace-dir $(TRACE_DIR) -shard 1/2 -checkpoint trace-shard1.jsonl); \
+		echo "$$out" | grep -q 'trace store .*: [1-9][0-9]* hits' || \
+		{ echo "trace-smoke: shard 1 did not read the shared store" >&2; exit 1; }
+	@$(GO) run ./cmd/dse -models 4 -bsa false,true -ecp 0,10 -checkpoint trace-full.jsonl > /dev/null
+	@sort trace-shard0.jsonl trace-shard1.jsonl > trace-sharded.jsonl; sort trace-full.jsonl > trace-unsharded.jsonl
+	@cmp -s trace-sharded.jsonl trace-unsharded.jsonl || \
+		{ echo "trace-smoke: shared-store shard records differ from the regenerating sweep" >&2; exit 1; }
+	@rm -f trace-shard0.jsonl trace-shard1.jsonl trace-full.jsonl trace-sharded.jsonl trace-unsharded.jsonl
+	@echo "trace-smoke: 2-shard shared-store sweep bit-identical to regenerating sweep ($(TRACE_DIR))"
+
 fmt:
 	gofmt -w .
 
@@ -49,4 +72,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race bench dse-smoke
+ci: build fmt-check vet race bench dse-smoke trace-smoke

@@ -7,7 +7,9 @@
 // point is durably appended as it completes, so an interrupted run picks up
 // where it stopped; with -shard i/n the point set is partitioned
 // deterministically across n machines and the shard checkpoints merge into
-// the unsharded result.
+// the unsharded result. With -trace-dir the shards read one digest-addressed
+// trace set (generated once, e.g. by `trace pack`, or persisted on first
+// miss) instead of regenerating identical traces per process.
 //
 // Usage:
 //
@@ -27,6 +29,7 @@ import (
 
 	"repro/internal/bundle"
 	"repro/internal/dse"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -40,6 +43,7 @@ func main() {
 	random := flag.Int("random", 0, "sample N random points from the space instead of the full grid")
 	seed := flag.Uint64("seed", 1, "trace seed (and random-search seed)")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint path; enables resume")
+	traceDir := flag.String("trace-dir", "", "shared trace-store directory: load traces by digest, generate+persist on miss (lets shards share one trace set)")
 	shard := flag.String("shard", "", "shard spec i/n: evaluate point i mod n == i only")
 	jobs := flag.Int("jobs", 0, "parallel evaluators (0 = all CPUs)")
 	frontier := flag.String("frontier", "", "write the Pareto frontier JSON to this path")
@@ -63,14 +67,22 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *traceDir != "" {
+		workload.SetTraceDir(*traceDir)
+	}
 
 	rs, err := dse.Sweep(context.Background(), points, cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("evaluated %d points (%d reused from checkpoint or duplicates); %d/%d records (shard %d/%d, seed %d)\n\n",
+	fmt.Printf("evaluated %d points (%d reused from checkpoint or duplicates); %d/%d records (shard %d/%d, seed %d)\n",
 		rs.Evaluated, len(rs.Records)-rs.Evaluated, len(rs.Records), len(rs.Points),
 		cfg.Shard, max(cfg.Shards, 1), *seed)
+	if *traceDir != "" {
+		h, m, e := workload.TraceStoreStats()
+		fmt.Printf("trace store %s: %d hits, %d misses, %d errors\n", *traceDir, h, m, e)
+	}
+	fmt.Println()
 
 	front := dse.Frontier(rs.Records)
 	fmt.Println("latency/energy Pareto frontier:")

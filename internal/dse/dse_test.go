@@ -372,3 +372,48 @@ func TestEncodeFrontierAndLabels(t *testing.T) {
 		t.Fatalf("ASCII table missing point labels:\n%s", sb.String())
 	}
 }
+
+// TestSweepSharedTraceStoreBitIdentical pins the PR 4 acceptance criterion
+// in-process: a 2-shard sweep whose shards read (and populate) one shared
+// trace directory merges to records bit-identical to an unsharded sweep
+// that regenerates its traces.
+func TestSweepSharedTraceStoreBitIdentical(t *testing.T) {
+	points := Space{Models: []int{4}, BSA: []bool{false, true}, ECPThetas: []int{0, 10}}.Grid()
+	ctx := context.Background()
+
+	// Unsharded reference, regenerating traces in memory (store disabled).
+	workload.ResetTraceCache()
+	workload.SetTraceDir("")
+	defer func() { workload.SetTraceDir(""); workload.ResetTraceCache() }()
+	full, err := Sweep(ctx, points, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two shards sharing one on-disk trace set. The cache reset between
+	// shards makes each behave like a separate process: shard 0 generates
+	// and persists, shard 1 must load what shard 0 stored.
+	dir := t.TempDir()
+	workload.ResetTraceCache()
+	workload.SetTraceDir(dir)
+	s0, err := Sweep(ctx, points, Config{Seed: 1, Shards: 2, Shard: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.ResetTraceCache()
+	s1, err := Sweep(ctx, points, Config{Seed: 1, Shards: 2, Shard: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, _, e := workload.TraceStoreStats(); h == 0 || e != 0 {
+		t.Fatalf("shard 1 should hit the shared store: hits=%d errors=%d", h, e)
+	}
+
+	merged := Merge(s0, s1)
+	if !merged.Complete() {
+		t.Fatalf("merged shards incomplete: %d/%d", len(merged.Records), len(merged.Points))
+	}
+	if !reflect.DeepEqual(full.Records, merged.Records) {
+		t.Fatal("shared-trace-store shards differ from the regenerating sweep")
+	}
+}

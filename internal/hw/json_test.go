@@ -3,6 +3,7 @@ package hw
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -136,4 +137,69 @@ func FuzzDecodeReport(f *testing.F) {
 			t.Fatalf("re-encoded report does not decode: %v", err)
 		}
 	})
+}
+
+// TestEncodeNonFiniteNamesField pins the bugfix: a NaN/Inf in an encode no
+// longer surfaces as encoding/json's opaque "unsupported value" error — the
+// offending field is named.
+func TestEncodeNonFiniteNamesField(t *testing.T) {
+	r := sampleResult(1)
+	r.EGLB = math.NaN()
+	if _, err := EncodeResult(r); err == nil || !strings.Contains(err.Error(), "Result.EGLB is NaN") {
+		t.Fatalf("want named NaN field, got %v", err)
+	}
+	r.EGLB = math.Inf(1)
+	if _, err := EncodeResult(r); err == nil || !strings.Contains(err.Error(), "Result.EGLB is +Inf") {
+		t.Fatalf("want named +Inf field, got %v", err)
+	}
+
+	rep := sampleReport()
+	rep.Layers[0].Dense.EStatic = math.Inf(-1)
+	if _, err := EncodeReport(rep); err == nil ||
+		!strings.Contains(err.Error(), "Layers[0](blk0.Wq).Dense.EStatic is -Inf") {
+		t.Fatalf("want named layer field, got %v", err)
+	}
+
+	rep = sampleReport()
+	rep.Tech.PDRAM = math.NaN()
+	if _, err := EncodeReport(rep); err == nil || !strings.Contains(err.Error(), "Tech.PDRAM is NaN") {
+		t.Fatalf("want named tech field, got %v", err)
+	}
+
+	rep = sampleReport()
+	rep.Total.EDRAM = math.NaN()
+	if _, err := EncodeReport(rep); err == nil || !strings.Contains(err.Error(), "Total.EDRAM is NaN") {
+		t.Fatalf("want named total field, got %v", err)
+	}
+
+	if _, err := EncodeResult(sampleResult(2)); err != nil {
+		t.Fatalf("finite result must still encode: %v", err)
+	}
+	if _, err := EncodeReport(sampleReport()); err != nil {
+		t.Fatalf("finite report must still encode: %v", err)
+	}
+}
+
+// TestDecodeRejectsNonFinite: strict decoding refuses values that would
+// materialize as non-finite floats (JSON itself cannot spell NaN/Inf, but
+// out-of-range literals and any future lenient parser path must not slip
+// through the explicit post-decode check).
+func TestDecodeRejectsNonFinite(t *testing.T) {
+	if _, err := DecodeResult([]byte(`{"Cycles":1,"EPE":1e999,"EGLB":0,"EDRAM":0,"EStatic":0,"DRAMBytes":0,"GLBBytes":0,"OpsAcc":0,"OpsMul":0,"OpsAnd":0}`)); err == nil {
+		t.Fatal("out-of-range literal must not decode")
+	}
+	// The explicit guard, unit-level.
+	r := sampleResult(1)
+	r.EPE = math.Inf(1)
+	if err := r.CheckFinite("Result"); err == nil || !strings.Contains(err.Error(), "Result.EPE is +Inf") {
+		t.Fatalf("CheckFinite: %v", err)
+	}
+	if err := sampleResult(1).CheckFinite("Result"); err != nil {
+		t.Fatalf("finite CheckFinite: %v", err)
+	}
+	rep := sampleReport()
+	rep.Layers[1].Sparse.EPE = math.NaN()
+	if err := rep.CheckFinite(); err == nil || !strings.Contains(err.Error(), "Layers[1](blk0.attn).Sparse.EPE is NaN") {
+		t.Fatalf("report CheckFinite: %v", err)
+	}
 }

@@ -61,6 +61,38 @@ func (s *Tensor) padMask() uint64 {
 // row, ⌈D/64⌉ — the scratch size for TokenWords-based kernels.
 func (s *Tensor) WordsPerRow() int { return s.wpr }
 
+// Words returns the whole packed backing store as a live word-slice view:
+// T·N rows of ⌈D/64⌉ words each, in (t, n) row order. It is the export
+// surface for serializers, which stream these words verbatim. The view is
+// read-only by contract — writers must go through the mutators so the
+// padding bits past D stay zero.
+func (s *Tensor) Words() []uint64 { return s.words[:len(s.words):len(s.words)] }
+
+// NewTensorFromWords builds a tensor of shape T×N×D from packed words laid
+// out exactly as Words() exports them. The words are copied. It is the
+// import surface for deserializers, so it validates rather than panics:
+// the length must be T·N·⌈D/64⌉ and every padding bit past D must be zero
+// (the invariant all word kernels rely on) — a corrupted or hand-built
+// payload fails loudly instead of producing silently wrong popcounts.
+func NewTensorFromWords(t, n, d int, words []uint64) (*Tensor, error) {
+	if t <= 0 || n <= 0 || d <= 0 {
+		return nil, fmt.Errorf("spike: invalid shape %dx%dx%d", t, n, d)
+	}
+	s := NewTensor(t, n, d)
+	if len(words) != len(s.words) {
+		return nil, fmt.Errorf("spike: %dx%dx%d needs %d words, got %d", t, n, d, len(s.words), len(words))
+	}
+	copy(s.words, words)
+	if mask := s.padMask(); mask != ^uint64(0) {
+		for i := s.wpr - 1; i < len(s.words); i += s.wpr {
+			if s.words[i]&^mask != 0 {
+				return nil, fmt.Errorf("spike: nonzero padding bits past D=%d in row word %d", d, i)
+			}
+		}
+	}
+	return s, nil
+}
+
 // TokenWords returns the packed firing bits of token row (t, n) as a live
 // word-slice view: bit d of the row is word d>>6, bit d&63. The view is
 // read-only by contract — writers must go through Set or SetTokenWords so

@@ -1,0 +1,58 @@
+package spike
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWordsRoundTrip pins the export/import pair the trace serializer is
+// built on: Words → NewTensorFromWords is the identity for every ragged D.
+func TestWordsRoundTrip(t *testing.T) {
+	for _, d := range []int{1, 5, 63, 64, 65, 127, 128, 130} {
+		s := NewTensor(3, 4, d)
+		// Deterministic pseudo-random fill touching word boundaries.
+		h := uint64(88172645463325252)
+		for ti := 0; ti < s.T; ti++ {
+			for n := 0; n < s.N; n++ {
+				for di := 0; di < d; di++ {
+					h ^= h << 13
+					h ^= h >> 7
+					h ^= h << 17
+					s.Set(ti, n, di, h&7 == 0)
+				}
+			}
+		}
+		got, err := NewTensorFromWords(s.T, s.N, s.D, s.Words())
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		if !got.Equal(s) {
+			t.Fatalf("D=%d: round trip changed the tensor", d)
+		}
+		// The import copies: mutating the source must not leak through.
+		s.Set(0, 0, 0, !s.Get(0, 0, 0))
+		if got.Equal(s) {
+			t.Fatalf("D=%d: imported tensor shares storage with the source", d)
+		}
+	}
+}
+
+func TestNewTensorFromWordsValidates(t *testing.T) {
+	if _, err := NewTensorFromWords(0, 1, 1, nil); err == nil {
+		t.Fatal("non-positive shape must be rejected")
+	}
+	if _, err := NewTensorFromWords(2, 2, 10, make([]uint64, 3)); err == nil {
+		t.Fatal("wrong word count must be rejected")
+	}
+	// A set bit past D (padding violation) must be rejected, not masked.
+	words := make([]uint64, 4) // 2x2 rows, D=10 → wpr 1
+	words[1] = 1 << 12         // bit 12 ≥ D=10
+	if _, err := NewTensorFromWords(2, 2, 10, words); err == nil ||
+		!strings.Contains(err.Error(), "padding") {
+		t.Fatalf("nonzero padding must be rejected by name, got %v", err)
+	}
+	// D a multiple of 64 has no padding: every bit pattern is valid.
+	if _, err := NewTensorFromWords(1, 1, 64, []uint64{^uint64(0)}); err != nil {
+		t.Fatalf("full word with D=64: %v", err)
+	}
+}

@@ -1,0 +1,76 @@
+package tracefile_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/tracefile"
+)
+
+// FuzzDecode hammers the decoder with arbitrary bytes: it must never panic
+// or over-allocate, and anything it accepts must re-encode canonically —
+// decode∘encode∘decode is the identity on the accepted set.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("BTRC"))
+	valid := encodeF(f, 65)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/3] ^= 0x40
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		old := tracefile.MaxPayloadBytes
+		tracefile.MaxPayloadBytes = 1 << 22 // keep hostile headers cheap
+		defer func() { tracefile.MaxPayloadBytes = old }()
+		tr, err := tracefile.Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := tracefile.Encode(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		again, err := tracefile.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(tr, again) {
+			t.Fatal("decode∘encode not the identity on an accepted trace")
+		}
+	})
+}
+
+// FuzzRoundTrip drives the encoder with generated traces over arbitrary
+// shapes and densities; the round trip must be exact for all of them.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(6), uint8(65), uint8(25))
+	f.Add(uint64(9), uint8(1), uint8(1), uint8(1), uint8(0))
+	f.Add(uint64(2), uint8(4), uint8(2), uint8(128), uint8(90))
+	f.Fuzz(func(t *testing.T, seed uint64, T, N, D, density uint8) {
+		if T == 0 || N == 0 || D == 0 {
+			return
+		}
+		tr := fuzzTrace(seed, int(T), int(N), int(D), float64(density)/255)
+		var buf bytes.Buffer
+		if _, err := tracefile.Encode(&buf, tr); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := tracefile.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(tr, got) {
+			t.Fatal("round trip not exact")
+		}
+	})
+}
+
+func encodeF(f *testing.F, d int) []byte {
+	var buf bytes.Buffer
+	if _, err := tracefile.Encode(&buf, testTrace(1, d)); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}

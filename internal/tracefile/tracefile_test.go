@@ -1,0 +1,329 @@
+package tracefile_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/snn"
+	"repro/internal/spike"
+	"repro/internal/tensor"
+	"repro/internal/tracefile"
+	"repro/internal/transformer"
+)
+
+func randTensor(rng *tensor.RNG, T, N, D int, density float64) *spike.Tensor {
+	s := spike.NewTensor(T, N, D)
+	for t := 0; t < T; t++ {
+		for n := 0; n < N; n++ {
+			for d := 0; d < D; d++ {
+				if rng.Float64() < density {
+					s.Set(t, n, d, true)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func randMask(rng *tensor.RNG, T, N int) [][]bool {
+	m := make([][]bool, T)
+	for t := range m {
+		row := make([]bool, N)
+		for n := range row {
+			row[n] = rng.Float64() < 0.7
+		}
+		m[t] = row
+	}
+	return m
+}
+
+// testTrace builds a small hand-rolled trace exercising every layer kind,
+// masked and unmasked attention, and the given (possibly word-straddling)
+// feature width.
+func testTrace(seed uint64, D int) *transformer.Trace {
+	rng := tensor.NewRNG(seed)
+	cfg := transformer.Config{Name: "codec-test", Blocks: 2, T: 3, N: 6, D: D,
+		Heads: 1, MLPRatio: 2, PatchDim: 4, Classes: 2, LIF: snn.DefaultLIF()}
+	tr := &transformer.Trace{Cfg: cfg}
+	hid := 2*D + 1 // ragged on purpose
+	tr.Layers = append(tr.Layers,
+		transformer.TraceLayer{Block: 0, Group: "P1", Name: "blk0.Wq",
+			Kind: transformer.KindProjection, In: randTensor(rng, 3, 6, D, 0.2), DIn: D, DOut: D},
+		transformer.TraceLayer{Block: 0, Group: "ATN", Name: "blk0.attn",
+			Kind: transformer.KindAttention, Heads: 1,
+			Q: randTensor(rng, 3, 6, D, 0.15), K: randTensor(rng, 3, 6, D, 0.15),
+			V:     randTensor(rng, 3, 6, D, 0.15),
+			QKeep: randMask(rng, 3, 6), KKeep: randMask(rng, 3, 6)},
+		transformer.TraceLayer{Block: 1, Group: "ATN", Name: "blk1.attn",
+			Kind: transformer.KindAttention, Heads: 1,
+			Q: randTensor(rng, 3, 6, D, 0.3), K: randTensor(rng, 3, 6, D, 0.3),
+			V: randTensor(rng, 3, 6, D, 0.3)},
+		transformer.TraceLayer{Block: 1, Group: "MLP", Name: "blk1.W1",
+			Kind: transformer.KindMLP, In: randTensor(rng, 3, 6, hid, 0.1), DIn: D, DOut: hid},
+	)
+	return tr
+}
+
+// fuzzTrace is testTrace generalized over shape and density for the
+// round-trip fuzz target.
+func fuzzTrace(seed uint64, T, N, D int, density float64) *transformer.Trace {
+	rng := tensor.NewRNG(seed)
+	cfg := transformer.Config{Name: "fuzz", Blocks: 1, T: T, N: N, D: D,
+		Heads: 1, MLPRatio: 1, PatchDim: 1, Classes: 2, LIF: snn.DefaultLIF()}
+	tr := &transformer.Trace{Cfg: cfg}
+	tr.Layers = append(tr.Layers,
+		transformer.TraceLayer{Block: 0, Group: "P1", Name: "p",
+			Kind: transformer.KindProjection, In: randTensor(rng, T, N, D, density), DIn: D, DOut: D},
+		transformer.TraceLayer{Block: 0, Group: "ATN", Name: "a",
+			Kind: transformer.KindAttention, Heads: 1,
+			Q: randTensor(rng, T, N, D, density), K: randTensor(rng, T, N, D, density),
+			V:     randTensor(rng, T, N, D, density),
+			QKeep: randMask(rng, T, N), KKeep: randMask(rng, T, N)},
+	)
+	return tr
+}
+
+func encode(t *testing.T, tr *transformer.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := tracefile.Encode(&buf, tr); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRoundTripRaggedD pins decode∘encode identity across feature widths
+// straddling word boundaries, including the keep masks and layer metadata.
+func TestRoundTripRaggedD(t *testing.T) {
+	for _, d := range []int{1, 5, 63, 64, 65, 127, 128, 130} {
+		tr := testTrace(uint64(d)+1, d)
+		got, err := tracefile.Decode(bytes.NewReader(encode(t, tr)))
+		if err != nil {
+			t.Fatalf("D=%d: decode: %v", d, err)
+		}
+		if !reflect.DeepEqual(tr, got) {
+			t.Fatalf("D=%d: decode(encode(tr)) != tr", d)
+		}
+	}
+}
+
+// TestEncodeDeterministic pins the byte-identity the digest-addressed store
+// relies on: every writer of the same trace produces the same bytes.
+func TestEncodeDeterministic(t *testing.T) {
+	tr := testTrace(7, 65)
+	a, b := encode(t, tr), encode(t, tr)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of one trace differ")
+	}
+}
+
+func TestDigestContentSensitive(t *testing.T) {
+	tr := testTrace(7, 65)
+	d1, err := tracefile.Digest(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Layers[0].In.Set(0, 0, 0, !tr.Layers[0].In.Get(0, 0, 0))
+	d2, err := tracefile.Digest(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 == d2 {
+		t.Fatal("flipping a spike did not change the content digest")
+	}
+}
+
+// TestTruncatedRejected: every proper prefix of a valid file must fail to
+// decode — there is no prefix that silently yields a shorter trace.
+func TestTruncatedRejected(t *testing.T) {
+	enc := encode(t, testTrace(3, 70))
+	for n := 0; n < len(enc); n++ {
+		if _, err := tracefile.Decode(bytes.NewReader(enc[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(enc))
+		}
+	}
+}
+
+// TestCorruptByteRejected: flipping any single byte of a valid file must be
+// detected (magic/version/flags checks, header CRC, payload CRC, length
+// field cross-checks, or the content digest).
+func TestCorruptByteRejected(t *testing.T) {
+	enc := encode(t, testTrace(4, 33))
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0xFF
+		if _, err := tracefile.Decode(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipped byte %d/%d decoded without error", i, len(enc))
+		}
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	enc := encode(t, testTrace(5, 16))
+	bad := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint16(bad[4:6], 2)
+	_, err := tracefile.Decode(bytes.NewReader(bad))
+	if !errors.Is(err, tracefile.ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+	binary.LittleEndian.PutUint16(bad[4:6], 0)
+	if _, err := tracefile.Decode(bytes.NewReader(bad)); !errors.Is(err, tracefile.ErrVersion) {
+		t.Fatalf("want ErrVersion for version 0, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	enc := encode(t, testTrace(5, 16))
+	bad := append([]byte(nil), enc...)
+	copy(bad, "NOPE")
+	if _, err := tracefile.Decode(bytes.NewReader(bad)); !errors.Is(err, tracefile.ErrFormat) {
+		t.Fatalf("want ErrFormat, got %v", err)
+	}
+}
+
+// buildFile assembles a structurally well-formed file (correct CRCs, length
+// fields, and digest) around an arbitrary header JSON and payload, so header
+// *validation* paths can be tested in isolation from corruption detection.
+func buildFile(hdata, payload []byte) []byte {
+	var buf bytes.Buffer
+	var pre [12]byte
+	copy(pre[:4], "BTRC")
+	binary.LittleEndian.PutUint16(pre[4:6], tracefile.Version)
+	binary.LittleEndian.PutUint32(pre[8:12], uint32(len(hdata)))
+	buf.Write(pre[:])
+	buf.Write(hdata)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], crc32.ChecksumIEEE(hdata))
+	buf.Write(b4[:])
+	buf.Write(payload)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(payload)))
+	buf.Write(b8[:])
+	binary.LittleEndian.PutUint32(b4[:], crc32.ChecksumIEEE(payload))
+	buf.Write(b4[:])
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, c := range buf.Bytes() {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	binary.LittleEndian.PutUint64(b8[:], h)
+	buf.Write(b8[:])
+	return buf.Bytes()
+}
+
+func validCfgJSON(t *testing.T) string {
+	t.Helper()
+	cfg := transformer.Config{Name: "h", Blocks: 1, T: 1, N: 1, D: 1,
+		Heads: 1, MLPRatio: 1, PatchDim: 1, Classes: 2, LIF: snn.DefaultLIF()}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestHeaderValidation(t *testing.T) {
+	cfg := validCfgJSON(t)
+	cases := []struct {
+		name, hdr, wantSub string
+	}{
+		{"unknown field", `{"config":` + cfg + `,"layers":[],"bogus":1}`, "header JSON"},
+		{"bad kind", `{"config":` + cfg + `,"layers":[{"block":0,"group":"P1","name":"l","kind":"weird"}]}`, "layer kind"},
+		{"negative dim", `{"config":` + cfg + `,"layers":[{"block":0,"group":"P1","name":"l","kind":"projection","in":{"t":1,"n":-2,"d":8}}]}`, "dimension"},
+		{"qkeep without q", `{"config":` + cfg + `,"layers":[{"block":0,"group":"ATN","name":"l","kind":"attention","qkeep":true}]}`, "qkeep mask without q"},
+		{"invalid config", `{"config":{},"layers":[]}`, "config"},
+	}
+	for _, tc := range cases {
+		_, err := tracefile.Decode(bytes.NewReader(buildFile([]byte(tc.hdr), nil)))
+		if err == nil {
+			t.Fatalf("%s: decoded without error", tc.name)
+		}
+		if !errors.Is(err, tracefile.ErrFormat) {
+			t.Fatalf("%s: want ErrFormat, got %v", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestPayloadCapEnforced(t *testing.T) {
+	old := tracefile.MaxPayloadBytes
+	tracefile.MaxPayloadBytes = 1 << 16
+	defer func() { tracefile.MaxPayloadBytes = old }()
+	cfg := validCfgJSON(t)
+	// 64×64×64 bits = 32 KiB... make it bigger than 64 KiB: 128×128×64.
+	hdr := `{"config":` + cfg + `,"layers":[{"block":0,"group":"P1","name":"l","kind":"projection","in":{"t":128,"n":128,"d":64}}]}`
+	_, err := tracefile.Decode(bytes.NewReader(buildFile([]byte(hdr), nil)))
+	if err == nil || !errors.Is(err, tracefile.ErrFormat) || !strings.Contains(err.Error(), "payload exceeds") {
+		t.Fatalf("oversized payload not rejected: %v", err)
+	}
+}
+
+func TestNonzeroTensorPaddingRejected(t *testing.T) {
+	// D=10 → one word per row with 54 padding bits; set one of them.
+	cfg := validCfgJSON(t)
+	hdr := `{"config":` + cfg + `,"layers":[{"block":0,"group":"P1","name":"l","kind":"projection","in":{"t":1,"n":1,"d":10}}]}`
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint64(payload, 1<<20) // bit 20 ≥ D=10
+	_, err := tracefile.Decode(bytes.NewReader(buildFile([]byte(hdr), payload)))
+	if err == nil || !errors.Is(err, tracefile.ErrCorrupt) {
+		t.Fatalf("nonzero padding not rejected as corrupt: %v", err)
+	}
+}
+
+func TestReadInfoHeaderOnly(t *testing.T) {
+	tr := testTrace(11, 40)
+	enc := encode(t, tr)
+	// Header-only inspection must succeed even when the payload is cut off.
+	in, err := tracefile.ReadInfo(bytes.NewReader(enc[:len(enc)-16]))
+	if err != nil {
+		t.Fatalf("ReadInfo: %v", err)
+	}
+	if in.Header.Config.Name != "codec-test" || len(in.Header.Layers) != len(tr.Layers) {
+		t.Fatalf("info header mismatch: %+v", in.Header)
+	}
+	if in.PayloadBytes <= 0 {
+		t.Fatalf("payload size %d", in.PayloadBytes)
+	}
+}
+
+func TestWriterMetaRoundTripsInHeader(t *testing.T) {
+	tr := testTrace(2, 12)
+	var buf bytes.Buffer
+	w := tracefile.NewWriter(&buf)
+	w.Meta = map[string]string{"source": "unit-test", "seed": "2"}
+	if _, err := w.WriteTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	in, err := tracefile.ReadInfo(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Header.Meta["source"] != "unit-test" || in.Header.Meta["seed"] != "2" {
+		t.Fatalf("meta lost: %+v", in.Header.Meta)
+	}
+	// The payload-bearing trace itself must be unaffected by metadata.
+	got, err := tracefile.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatal("meta changed the decoded trace")
+	}
+}
+
+func TestEncodeRejectsRaggedMask(t *testing.T) {
+	tr := testTrace(9, 20)
+	tr.Layers[1].QKeep[1] = tr.Layers[1].QKeep[1][:3] // break the T×N grid
+	if _, err := tracefile.Encode(bytes.NewBuffer(nil), tr); err == nil {
+		t.Fatal("ragged keep mask must not encode")
+	}
+}

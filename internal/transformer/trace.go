@@ -1,6 +1,10 @@
 package transformer
 
-import "repro/internal/spike"
+import (
+	"fmt"
+
+	"repro/internal/spike"
+)
 
 // LayerKind classifies a traced layer for the hardware scheduler.
 type LayerKind int
@@ -28,6 +32,21 @@ func (k LayerKind) String() string {
 		return "tokenizer"
 	}
 	return "unknown"
+}
+
+// ParseLayerKind is the inverse of String, for serialized trace metadata.
+func ParseLayerKind(s string) (LayerKind, error) {
+	switch s {
+	case "projection":
+		return KindProjection, nil
+	case "attention":
+		return KindAttention, nil
+	case "mlp":
+		return KindMLP, nil
+	case "tokenizer":
+		return KindTokenizer, nil
+	}
+	return 0, fmt.Errorf("transformer: unknown layer kind %q", s)
 }
 
 // TraceLayer is one hardware-visible layer of a forward pass: for linear

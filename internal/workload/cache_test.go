@@ -1,11 +1,14 @@
 package workload
 
 import (
+	"fmt"
+	"os"
 	"reflect"
 	"sync"
 	"testing"
 
 	"repro/internal/bundle"
+	"repro/internal/tracefile"
 	"repro/internal/transformer"
 )
 
@@ -37,6 +40,202 @@ func TestCachedTraceMatchesSynthetic(t *testing.T) {
 	direct := SyntheticTrace(cfg, sc, TraceOptions{}, 7)
 	if !reflect.DeepEqual(cached, direct) {
 		t.Fatal("cached trace must be identical to direct synthesis")
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestPartialShapeRejected pins the aliasing bugfix: only the true zero
+// Shape defaults to bundle.DefaultShape; a partially specified shape used
+// to silently alias onto the default-shape cache entry and now panics.
+func TestPartialShapeRejected(t *testing.T) {
+	cfg := transformer.ModelZoo()[3]
+	sc := Scenarios()[4]
+	for _, sh := range []bundle.Shape{{BSt: 0, BSn: 5}, {BSt: 5, BSn: 0}, {BSt: -1, BSn: 2}, {BSt: 2, BSn: -1}} {
+		sh := sh
+		mustPanic(t, fmt.Sprintf("CachedTrace shape %+v", sh), func() {
+			CachedTrace(cfg, sc, TraceOptions{Shape: sh}, 1)
+		})
+		mustPanic(t, fmt.Sprintf("SyntheticTrace shape %+v", sh), func() {
+			SyntheticTrace(cfg, sc, TraceOptions{Shape: sh}, 1)
+		})
+	}
+}
+
+// TestDistinctShapesDistinctEntries: fully specified non-default shapes
+// must never share a cache entry with each other or with the default.
+func TestDistinctShapesDistinctEntries(t *testing.T) {
+	cfg := transformer.ModelZoo()[3]
+	sc := Scenarios()[4]
+	a := CachedTrace(cfg, sc, TraceOptions{Shape: bundle.Shape{BSt: 4, BSn: 2}}, 11)
+	b := CachedTrace(cfg, sc, TraceOptions{Shape: bundle.Shape{BSt: 2, BSn: 4}}, 11)
+	c := CachedTrace(cfg, sc, TraceOptions{}, 11)
+	if a == b {
+		t.Fatal("4x2 and 2x4 shapes share one cache entry")
+	}
+	if a != c {
+		t.Fatal("explicit default shape and zero shape must share the entry")
+	}
+}
+
+func TestResetTraceCache(t *testing.T) {
+	cfg := transformer.ModelZoo()[3]
+	sc := Scenarios()[4]
+	a := CachedTrace(cfg, sc, TraceOptions{}, 1001)
+	ResetTraceCache()
+	if h, m := TraceCacheStats(); h != 0 || m != 0 {
+		t.Fatalf("stats not reset: hits=%d misses=%d", h, m)
+	}
+	b := CachedTrace(cfg, sc, TraceOptions{}, 1001)
+	if a == b {
+		t.Fatal("reset cache must regenerate, not return the old pointer")
+	}
+	if h, m := TraceCacheStats(); h != 0 || m != 1 {
+		t.Fatalf("want a single fresh miss, got hits=%d misses=%d", h, m)
+	}
+}
+
+// TestTraceCacheLRULimit pins the eviction order: with a cap of 2, touching
+// an entry protects it and the least-recently-used one is dropped.
+func TestTraceCacheLRULimit(t *testing.T) {
+	ResetTraceCache()
+	prev := SetTraceCacheLimit(2)
+	defer func() { SetTraceCacheLimit(prev); ResetTraceCache() }()
+	cfg := transformer.ModelZoo()[3]
+	sc := Scenarios()[4]
+	a := CachedTrace(cfg, sc, TraceOptions{}, 2001)
+	b := CachedTrace(cfg, sc, TraceOptions{}, 2002)
+	_ = b
+	if got := CachedTrace(cfg, sc, TraceOptions{}, 2001); got != a {
+		t.Fatal("touch within the limit must hit")
+	}
+	CachedTrace(cfg, sc, TraceOptions{}, 2003) // evicts seed 2002 (LRU)
+	if got := CachedTrace(cfg, sc, TraceOptions{}, 2001); got != a {
+		t.Fatal("recently touched entry was evicted")
+	}
+	if got := CachedTrace(cfg, sc, TraceOptions{}, 2002); got == b {
+		t.Fatal("LRU entry survived past the cap")
+	}
+	// Shrinking the limit evicts immediately, keeping the most recent
+	// entry (seed 2002) and dropping seed 2001.
+	SetTraceCacheLimit(1)
+	_, misses := TraceCacheStats()
+	CachedTrace(cfg, sc, TraceOptions{}, 2001)
+	if _, m := TraceCacheStats(); m != misses+1 {
+		t.Fatal("entry evicted by the shrink must regenerate")
+	}
+}
+
+func TestTraceDigestStable(t *testing.T) {
+	cfg := transformer.ModelZoo()[3]
+	sc := Scenarios()[4]
+	zero := TraceDigest(cfg, sc, TraceOptions{}, 5)
+	if TraceDigest(cfg, sc, TraceOptions{Shape: bundle.DefaultShape}, 5) != zero {
+		t.Fatal("zero shape and explicit default must digest identically")
+	}
+	if TraceDigest(cfg, sc, TraceOptions{BSA: true}, 5) == zero {
+		t.Fatal("BSA must change the digest")
+	}
+	if TraceDigest(cfg, sc, TraceOptions{}, 6) == zero {
+		t.Fatal("seed must change the digest")
+	}
+	if TraceDigest(cfg, sc, TraceOptions{Shape: bundle.Shape{BSt: 2, BSn: 4}}, 5) == zero {
+		t.Fatal("shape must change the digest")
+	}
+}
+
+// TestCachedTraceDiskStore exercises the opt-in store end to end: generate
+// + persist, reload from disk in a "new process" (cache reset), and fall
+// back to regeneration when the stored file is corrupt.
+func TestCachedTraceDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	ResetTraceCache()
+	SetTraceDir(dir)
+	defer func() { SetTraceDir(""); ResetTraceCache() }()
+
+	cfg := transformer.ModelZoo()[3]
+	sc := Scenarios()[4]
+	opt := TraceOptions{BSA: true}
+	tr1 := CachedTrace(cfg, sc, opt, 77)
+	st := tracefile.Store{Dir: dir}
+	key := TraceDigest(cfg, sc, opt, 77)
+	if _, err := os.Stat(st.Path(key)); err != nil {
+		t.Fatalf("trace not persisted at its digest path: %v", err)
+	}
+	if h, m, e := TraceStoreStats(); h != 0 || m != 1 || e != 0 {
+		t.Fatalf("after generate: store stats hits=%d misses=%d errors=%d", h, m, e)
+	}
+
+	ResetTraceCache() // simulate a fresh process sharing the directory
+	tr2 := CachedTrace(cfg, sc, opt, 77)
+	if h, m, e := TraceStoreStats(); h != 1 || m != 0 || e != 0 {
+		t.Fatalf("after reload: store stats hits=%d misses=%d errors=%d", h, m, e)
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatal("trace loaded from the store differs from the generated one")
+	}
+
+	// A corrupt stored file regenerates (and re-persists) instead of failing.
+	if err := os.WriteFile(st.Path(key), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ResetTraceCache()
+	tr3 := CachedTrace(cfg, sc, opt, 77)
+	if !reflect.DeepEqual(tr1, tr3) {
+		t.Fatal("regenerated trace differs after store corruption")
+	}
+	if _, _, e := TraceStoreStats(); e == 0 {
+		t.Fatal("corrupt store entry must be counted as an error")
+	}
+	ResetTraceCache()
+	if tr4 := CachedTrace(cfg, sc, opt, 77); !reflect.DeepEqual(tr1, tr4) {
+		t.Fatal("store entry not healed after corruption")
+	}
+	if h, _, _ := TraceStoreStats(); h != 1 {
+		t.Fatal("healed store entry must load again")
+	}
+}
+
+// TestCachedTraceDiskStoreRejectsForeignConfig: a hand-placed (or stale)
+// file at the right digest path but describing a different model must be
+// rejected and regenerated, never fed to the simulators.
+func TestCachedTraceDiskStoreRejectsForeignConfig(t *testing.T) {
+	dir := t.TempDir()
+	ResetTraceCache()
+	SetTraceDir(dir)
+	defer func() { SetTraceDir(""); ResetTraceCache() }()
+
+	cfg := transformer.ModelZoo()[3]
+	sc := Scenarios()[4]
+	foreignCfg := transformer.Tiny(cfg, 11, 512)
+	foreign := SyntheticTrace(foreignCfg, sc, TraceOptions{}, 5)
+	st := tracefile.Store{Dir: dir}
+	key := TraceDigest(cfg, sc, TraceOptions{}, 5)
+	if err := st.Save(key, foreign); err != nil {
+		t.Fatal(err)
+	}
+	tr := CachedTrace(cfg, sc, TraceOptions{}, 5)
+	if tr.Cfg != cfg {
+		t.Fatal("served the foreign trace instead of regenerating")
+	}
+	if _, _, e := TraceStoreStats(); e == 0 {
+		t.Fatal("foreign entry must be counted as a store error")
+	}
+	// The regeneration healed the entry in place.
+	ResetTraceCache()
+	if got := CachedTrace(cfg, sc, TraceOptions{}, 5); got.Cfg != cfg {
+		t.Fatal("store entry not healed")
+	}
+	if h, _, _ := TraceStoreStats(); h != 1 {
+		t.Fatal("healed entry must load from the store")
 	}
 }
 

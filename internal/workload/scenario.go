@@ -62,14 +62,25 @@ type TraceOptions struct {
 	Shape bundle.Shape // TTB volume (DefaultShape if zero)
 }
 
+// normalized canonicalizes the options for generation and cache keying: the
+// zero Shape means bundle.DefaultShape. Only the true zero value defaults —
+// a partially specified shape (one field set, the other zero or negative)
+// has no meaning anywhere in the repo, and defaulting it would silently
+// alias distinct option values onto one generated trace, so it panics.
+func (o TraceOptions) normalized() TraceOptions {
+	if o.Shape == (bundle.Shape{}) {
+		o.Shape = bundle.DefaultShape
+	} else if o.Shape.BSt <= 0 || o.Shape.BSn <= 0 {
+		panic(fmt.Sprintf("workload: invalid trace shape %+v (only the zero Shape defaults)", o.Shape))
+	}
+	return o
+}
+
 // SyntheticTrace builds a full activation trace for a Table 2 model with
 // the scenario's statistics — the drop-in replacement for a trained-model
 // forward pass that the hardware experiments consume.
 func SyntheticTrace(cfg transformer.Config, sc Scenario, opt TraceOptions, seed uint64) *transformer.Trace {
-	sh := opt.Shape
-	if sh.BSt == 0 {
-		sh = bundle.DefaultShape
-	}
+	sh := opt.normalized().Shape
 	density, bd, zf := sc.Density, sc.BundleDensity, sc.ZeroFrac
 	if opt.BSA {
 		density, bd, zf = sc.DensityBSA, sc.BundleDensityBSA, sc.ZeroFracBSA
