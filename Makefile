@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json dse-smoke trace-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-json dse-smoke backend-smoke trace-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,21 @@ trace-smoke:
 	@rm -f trace-shard0.jsonl trace-shard1.jsonl trace-full.jsonl trace-sharded.jsonl trace-unsharded.jsonl
 	@echo "trace-smoke: 2-shard shared-store sweep bit-identical to regenerating sweep ($(TRACE_DIR))"
 
+# Cross-backend smoke: a tiny -backends bishop,ptb,gpu sweep through cmd/dse
+# must collect records from every backend and emit a non-empty cross-backend
+# frontier artifact. BACKEND_FRONTIER_OUT overrides the artifact path.
+BACKEND_FRONTIER_OUT ?= backend-frontier.json
+backend-smoke:
+	@out=$$($(GO) run ./cmd/dse -models 4 -backends bishop,ptb,gpu -ecp 0,10 -frontier $(BACKEND_FRONTIER_OUT)); \
+	echo "$$out"; \
+	for b in bishop ptb gpu; do \
+		echo "$$out" | grep -q "backend $$b: [1-9]" || \
+			{ echo "backend-smoke: backend $$b contributed no records" >&2; exit 1; }; \
+	done
+	@grep -q '"digest"' $(BACKEND_FRONTIER_OUT) || \
+		{ echo "backend-smoke: empty frontier in $(BACKEND_FRONTIER_OUT)" >&2; exit 1; }
+	@echo "wrote $(BACKEND_FRONTIER_OUT)"
+
 fmt:
 	gofmt -w .
 
@@ -72,4 +87,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race bench dse-smoke trace-smoke
+ci: build fmt-check vet race bench dse-smoke backend-smoke trace-smoke

@@ -1,7 +1,9 @@
-// Command dse sweeps the Bishop design space: it enumerates a declarative
-// grid (or seeded-random sample) over accel.Options × Table 2 workloads,
-// evaluates every point on the parallel simulation engine, and reports the
-// latency/energy Pareto frontier as an ASCII table and JSON artifact.
+// Command dse sweeps the accelerator design space: it enumerates a
+// declarative grid (or seeded-random sample) over accel.Options × Table 2
+// workloads × accelerator backends (-backends bishop,ptb,gpu), evaluates
+// every point on the parallel simulation engine, and reports the
+// latency/energy Pareto frontier — cross-backend when several backends are
+// swept — as an ASCII table and JSON artifact.
 //
 // Sweeps are resumable and shardable: with -checkpoint every evaluated
 // point is durably appended as it completes, so an interrupted run picks up
@@ -17,13 +19,16 @@
 //	dse -models 3 -shapes 1x2,2x2,4x2,4x4 -ecp 0,6           # TTB volume × ECP grid
 //	dse -models 1,2,3,4,5 -bsa false,true -checkpoint dse.jsonl -shard 0/4
 //	dse -random 64 -seed 7 -frontier frontier.json           # random search
+//	dse -models 3 -backends bishop,ptb,gpu -ecp 0,6          # cross-backend frontier
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"maps"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -35,6 +40,7 @@ import (
 func main() {
 	models := flag.String("models", "3", "comma-separated Table 2 model indices (1-5)")
 	bsa := flag.String("bsa", "false", "comma-separated BSA axis values (false,true)")
+	backends := flag.String("backends", "bishop", "comma-separated accelerator backends (bishop,ptb,gpu)")
 	shapes := flag.String("shapes", "", "comma-separated TTB shapes as BStxBSn, e.g. 4x2,2x2 (default 4x2)")
 	thetas := flag.String("thetas", "", "comma-separated stratification thresholds; -1 = split balancing (default -1)")
 	splits := flag.String("splits", "", "comma-separated dense-fraction targets for balancing (default 0.5)")
@@ -53,6 +59,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	space.Backends = split(*backends)
 	if err := space.Validate(); err != nil {
 		fatal(err)
 	}
@@ -78,6 +85,10 @@ func main() {
 	fmt.Printf("evaluated %d points (%d reused from checkpoint or duplicates); %d/%d records (shard %d/%d, seed %d)\n",
 		rs.Evaluated, len(rs.Records)-rs.Evaluated, len(rs.Records), len(rs.Points),
 		cfg.Shard, max(cfg.Shards, 1), *seed)
+	byBackend := dse.ByBackend(rs.Records)
+	for _, name := range slices.Sorted(maps.Keys(byBackend)) {
+		fmt.Printf("backend %s: %d records\n", name, len(byBackend[name]))
+	}
 	if *traceDir != "" {
 		h, m, e := workload.TraceStoreStats()
 		fmt.Printf("trace store %s: %d hits, %d misses, %d errors\n", *traceDir, h, m, e)

@@ -3,14 +3,18 @@
 // a grid over the TTB bundle volume, the stratification split target, and
 // the ECP pruning threshold, sweeps it with a resumable checkpoint, and
 // extracts the latency/energy Pareto frontier — the §6.5 sensitivity
-// studies recast as one declarative query.
+// studies recast as one declarative query. A second sweep adds the backend
+// axis, evaluating the same workload on Bishop, the PTB baseline, and the
+// edge GPU to draw the cross-accelerator frontier of §6.2.
 package main
 
 import (
 	"context"
 	"fmt"
+	"maps"
 	"os"
 	"path/filepath"
+	"slices"
 
 	"repro/internal/bundle"
 	"repro/internal/dse"
@@ -59,4 +63,31 @@ func main() {
 	fmt.Printf("\nbest-EDP design: %s (EDP %.4g pJ.s)\n", best.Point().Label(), best.EDP)
 	fmt.Println("every frontier point is also EDP-optimal for some latency budget:")
 	fmt.Println("EDP = energy x latency is monotone in both objectives.")
+
+	// The backend axis makes the accelerator itself a sweep coordinate: the
+	// same Model 3 workload evaluated on Bishop (±ECP), the PTB baseline,
+	// and the edge GPU, through one grid. The cross-backend frontier shows
+	// which accelerator is Pareto-optimal (per §6.2: Bishop dominates), and
+	// ByBackend slices the records for per-accelerator comparisons.
+	xspace := dse.Space{
+		Models:    []int{3},
+		Backends:  []string{"bishop", "ptb", "gpu"},
+		ECPThetas: []int{0, 6},
+	}
+	xrs, err := dse.Sweep(context.Background(), xspace.Grid(), dse.Config{Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	byBackend := dse.ByBackend(xrs.Records)
+	fmt.Printf("\ncross-backend sweep: %d records over %d backends\n",
+		len(xrs.Records), len(byBackend))
+	for _, name := range slices.Sorted(maps.Keys(byBackend)) {
+		recs := byBackend[name]
+		f := dse.Frontier(recs)
+		fmt.Printf("  %-6s best latency %.4f ms, best energy %.4f mJ (%d records)\n",
+			name, f[0].LatencyMS, dse.Frontier(recs, dse.Energy)[0].EnergyMJ, len(recs))
+	}
+	fmt.Println("\nthree-backend latency/energy Pareto frontier:")
+	dse.FprintFrontier(os.Stdout, dse.Frontier(xrs.Records))
 }

@@ -1,0 +1,140 @@
+// Package backend abstracts "an accelerator model bound to a concrete
+// configuration" behind one interface, so the evaluation stack — the DSE
+// engine, the figure drivers, cmd/dse — can treat Bishop, the PTB baseline
+// (HPCA'22 [27]), and the edge-GPU baseline uniformly. The paper's headline
+// results (§6.1–§6.2) are cross-accelerator comparisons; with the backend a
+// first-class coordinate, Pareto frontiers and sweeps compare *across*
+// accelerators instead of only across Bishop configurations.
+//
+// Each backend kind registers a Factory under a stable name ("bishop",
+// "ptb", "gpu"). A Backend value carries its options, exposes them through a
+// strict JSON codec (unknown fields rejected, mirroring
+// accel.EncodeOptions/DecodeOptions), and fingerprints itself with a
+// field-order-stable Digest following the accel.Options.Digest conventions
+// (FNV-1a over the canonical encoding of the *normalized* options, with the
+// backend name folded in so equal options on different backends never
+// collide).
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/hw"
+	"repro/internal/transformer"
+)
+
+// Backend is one accelerator model bound to a concrete configuration.
+// Implementations are small immutable values; Simulate must be safe for
+// concurrent use (every simulator in this repo treats traces as read-only).
+type Backend interface {
+	// Name is the registry name of the backend kind ("bishop", "ptb", "gpu").
+	Name() string
+	// Simulate runs the trace through the model and returns the per-layer
+	// and end-to-end latency/energy report.
+	Simulate(tr *transformer.Trace) *hw.Report
+	// EncodeOptions serializes the bound options canonically (struct
+	// declaration order), so equal configurations produce identical bytes.
+	EncodeOptions() ([]byte, error)
+	// Digest is a stable fingerprint of (name, normalized options): equal
+	// across field reordering and default spellings, different across
+	// backends and across any effective knob change.
+	Digest() uint64
+}
+
+// Factory describes one registered backend kind.
+type Factory struct {
+	Name string
+	// Default returns the kind's paper-default configuration.
+	Default func() Backend
+	// Decode builds a Backend from a strict-JSON options document (the
+	// bytes a matching EncodeOptions produced). Unknown fields reject.
+	Decode func(options []byte) (Backend, error)
+}
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Factory
+}{m: map[string]Factory{}}
+
+// Register adds a backend kind to the registry. It panics on an empty or
+// duplicate name or a nil constructor — registration is an init-time
+// programming contract, not a runtime condition.
+func Register(f Factory) {
+	if f.Name == "" || f.Default == nil || f.Decode == nil {
+		panic("backend: Register with empty name or nil constructor")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[f.Name]; dup {
+		panic(fmt.Sprintf("backend: %q registered twice", f.Name))
+	}
+	registry.m[f.Name] = f
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Registered reports whether name is a known backend kind.
+func Registered(name string) bool {
+	registry.RLock()
+	defer registry.RUnlock()
+	_, ok := registry.m[name]
+	return ok
+}
+
+func lookup(name string) (Factory, error) {
+	registry.RLock()
+	f, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return Factory{}, fmt.Errorf("backend: unknown backend %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f, nil
+}
+
+// Default returns the named backend in its paper-default configuration.
+func Default(name string) (Backend, error) {
+	f, err := lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.Default(), nil
+}
+
+// Decode builds the named backend from a strict-JSON options document; nil
+// or empty options mean the default configuration.
+func Decode(name string, options []byte) (Backend, error) {
+	f, err := lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(options) == 0 {
+		return f.Default(), nil
+	}
+	return f.Decode(options)
+}
+
+// FoldName folds a backend name into an options digest, FNV-1a style — the
+// shared convention that keeps equal options on different backends from
+// colliding.
+func FoldName(h uint64, name string) uint64 {
+	const prime64 = 1099511628211
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,60 @@
+package gpu
+
+// Golden conformance pins for the edge-GPU baseline over the Table 2
+// workloads (models 1–5, SyntheticTrace seed 1): exact cycle counts and the
+// bit pattern of the total energy, mirroring ptb's golden_test. The GPU
+// roofline model computes dense fp16 GEMMs, so its totals depend only on
+// the traced shapes — never on spike content — which TestGoldenGPUBSAInvariant
+// pins as a property.
+//
+// Re-pin with PRINT_GOLDEN=1 only after an intentional model change.
+
+import (
+	"math"
+	"os"
+	"testing"
+)
+
+var goldenGPU = []struct {
+	model  int
+	cycles int64
+	energy uint64 // math.Float64bits of Total.EnergyPJ()
+}{
+	{model: 1, cycles: 146430320, energy: 0x42854ef47cf5c5bd},
+	{model: 2, cycles: 117408252, energy: 0x428115cc7d9e37c9},
+	{model: 3, cycles: 52847088, energy: 0x426ec2d61b6c7982},
+	{model: 4, cycles: 21363006, energy: 0x4258deac7a34b009},
+	{model: 5, cycles: 492153572, energy: 0x42a1e78997a804f6},
+}
+
+func TestGoldenGPUSimulate(t *testing.T) {
+	for _, g := range goldenGPU {
+		rep := Simulate(trace(g.model, 1), DefaultOptions())
+		eBits := math.Float64bits(rep.Total.EnergyPJ())
+		if os.Getenv("PRINT_GOLDEN") != "" {
+			t.Logf("{model: %d, cycles: %d, energy: %#x},", g.model, rep.Total.Cycles, eBits)
+			continue
+		}
+		if rep.Total.Cycles != g.cycles {
+			t.Errorf("model %d: cycles %d want %d", g.model, rep.Total.Cycles, g.cycles)
+		}
+		if eBits != g.energy {
+			t.Errorf("model %d: energy bits %#x want %#x", g.model, eBits, g.energy)
+		}
+	}
+}
+
+// TestGoldenGPUBSAInvariant pins the roofline model's defining property:
+// binary activations run as dense GEMMs, so BSA-sparsified traces cost
+// exactly the same as the baseline ones (the paper's Fig. 12/13 GPU column
+// is one number per model for this reason).
+func TestGoldenGPUBSAInvariant(t *testing.T) {
+	for m := 1; m <= 5; m++ {
+		base := Simulate(trace(m, 1), DefaultOptions())
+		bsa := Simulate(bsaTrace(m, 1), DefaultOptions())
+		if base.Total != bsa.Total {
+			t.Errorf("model %d: GPU totals differ across BSA: %+v vs %+v",
+				m, base.Total, bsa.Total)
+		}
+	}
+}

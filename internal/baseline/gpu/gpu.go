@@ -33,13 +33,35 @@ func DefaultOptions() Options {
 	}
 }
 
+// normalize fills unset (non-positive) fields with the Jetson Nano defaults,
+// field by field — mirroring ptb.Options.normalize. A partially-specified
+// Options therefore keeps its explicit knobs instead of the historical
+// all-or-nothing PeakFLOPS sentinel (which silently discarded them, or worse,
+// divided by a zero Utilization).
+func (o *Options) normalize() {
+	def := DefaultOptions()
+	if o.PeakFLOPS <= 0 {
+		o.PeakFLOPS = def.PeakFLOPS
+	}
+	if o.BandwidthBps <= 0 {
+		o.BandwidthBps = def.BandwidthBps
+	}
+	if o.Utilization <= 0 {
+		o.Utilization = def.Utilization
+	}
+	if o.KernelOverhead <= 0 {
+		o.KernelOverhead = def.KernelOverhead
+	}
+	if o.PowerW <= 0 {
+		o.PowerW = def.PowerW
+	}
+}
+
 // Simulate estimates end-to-end latency/energy of the traced model on the
 // edge GPU. Results are reported through hw.Report with cycles expressed at
 // the Bishop 500 MHz clock so ratios are directly comparable.
 func Simulate(tr *transformer.Trace, opt Options) *hw.Report {
-	if opt.PeakFLOPS == 0 {
-		opt = DefaultOptions()
-	}
+	opt.normalize()
 	tech := hw.Default28nm()
 	rep := &hw.Report{Name: "EdgeGPU", Tech: tech}
 	for _, l := range tr.Layers {

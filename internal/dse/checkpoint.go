@@ -40,7 +40,11 @@ func openCheckpoint(path string) (*checkpoint, error) {
 
 // parseRecords decodes JSONL content, skipping blank and malformed lines
 // (strictly: unknown fields also reject a line, so records written by a
-// different schema version are re-evaluated rather than half-read).
+// different schema version are re-evaluated rather than half-read). A line
+// without a backend tag is a bishop record — the pre-backend format and the
+// canonical bishop spelling are the same bytes — and a tagged line whose
+// options document does not decode against its registered backend is
+// dropped like any other malformed line.
 func parseRecords(data []byte) []Record {
 	var recs []Record
 	sc := bufio.NewScanner(bytes.NewReader(data))
@@ -52,6 +56,9 @@ func parseRecords(data []byte) []Record {
 		}
 		var r Record
 		if err := hw.DecodeStrict(line, &r); err != nil {
+			continue
+		}
+		if !r.valid() {
 			continue
 		}
 		recs = append(recs, r)

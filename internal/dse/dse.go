@@ -2,11 +2,13 @@ package dse
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/accel"
+	"repro/internal/backend"
 	"repro/internal/hw"
 	"repro/internal/sched"
 	"repro/internal/transformer"
@@ -18,14 +20,26 @@ import (
 // per-group totals the sensitivity figures query. JSON numbers round-trip
 // bit-exactly (encoding/json emits shortest-round-trip floats), which is
 // what makes resumed and sharded sweeps merge bit-identically.
+//
+// The backend coordinate is carried as a tag plus the backend's own
+// canonical options document. The canonical spelling of the bishop backend
+// is the *absent* tag (with the configuration in Opt), which keeps every
+// bishop record byte-identical to the pre-backend format: PR 3/4-era
+// checkpoints decode as bishop, and a resumed legacy sweep appends lines
+// indistinguishable from the legacy writer's.
 type Record struct {
-	Index  int    `json:"index"`  // position in the enumerated point set
-	Digest string `json:"digest"` // %016x of Point.Digest
-	Model  int    `json:"model"`
-	BSA    bool   `json:"bsa"`
-	Seed   uint64 `json:"seed"`
+	Index   int    `json:"index"`             // position in the enumerated point set
+	Digest  string `json:"digest"`            // %016x of Point.Digest
+	Backend string `json:"backend,omitempty"` // backend tag; "" = bishop
+	Model   int    `json:"model"`
+	BSA     bool   `json:"bsa"`
+	Seed    uint64 `json:"seed"`
 
-	Opt accel.Options `json:"opt"`
+	// Opt is the Bishop configuration of a bishop record; nil otherwise.
+	Opt *accel.Options `json:"opt,omitempty"`
+	// BackendOpt is the canonical options document of a non-bishop record
+	// (the bytes its Backend.EncodeOptions produced); nil for bishop.
+	BackendOpt json.RawMessage `json:"backend_opt,omitempty"`
 
 	LatencyMS float64 `json:"latency_ms"`
 	EnergyMJ  float64 `json:"energy_mj"`
@@ -36,8 +50,52 @@ type Record struct {
 	Groups     map[string]hw.Result `json:"groups"`
 }
 
-// Point reconstructs the design-space coordinate of the record.
-func (r Record) Point() Point { return Point{Model: r.Model, BSA: r.BSA, Opt: r.Opt} }
+// BackendName returns the registry name of the record's backend ("bishop"
+// for the canonical empty tag).
+func (r Record) BackendName() string {
+	if r.Backend == "" {
+		return backend.BishopName
+	}
+	return r.Backend
+}
+
+// Point reconstructs the design-space coordinate of the record. It panics
+// on a non-bishop record whose options document does not decode — records
+// built by Evaluate or loaded through a checkpoint are always valid, so
+// this is unreachable short of hand-constructed Records.
+func (r Record) Point() Point {
+	p := Point{Model: r.Model, BSA: r.BSA}
+	if r.Backend == "" || r.Backend == backend.BishopName {
+		if r.Opt != nil {
+			p.Opt = *r.Opt
+		}
+		return p
+	}
+	b, err := backend.Decode(r.Backend, r.BackendOpt)
+	if err != nil {
+		panic(fmt.Sprintf("dse: record %s: %v", r.Digest, err))
+	}
+	p.Backend = b
+	return p
+}
+
+// valid reports whether a decoded checkpoint record is self-consistent —
+// bishop records carry their Options, non-bishop records carry a decodable
+// options document — canonicalizing an explicitly spelled bishop tag along
+// the way. Invalid lines are skipped on load and simply re-evaluate.
+func (r *Record) valid() bool {
+	switch r.Backend {
+	case "", backend.BishopName:
+		if r.Opt == nil {
+			return false
+		}
+		r.Backend, r.BackendOpt = "", nil
+		return true
+	default:
+		_, err := backend.Decode(r.Backend, r.BackendOpt)
+		return err == nil
+	}
+}
 
 // NonGroupTotal sums the group totals for every group except the named one,
 // in group order — e.g. the projection/MLP share when excluding "ATN".
@@ -56,21 +114,35 @@ func digestKey(p Point) string { return fmt.Sprintf("%016x", p.Digest()) }
 
 // Evaluate simulates one point at the given trace seed and returns its
 // record. The synthetic trace comes from the process-wide workload cache
-// (keyed by model/scenario/seed — the TTB shape under sweep is a hardware
-// knob, the trace itself is always generated at the default bundle shape,
-// matching the paper's §6.5 methodology), so sweeping hardware axes reuses
-// one trace per (model, BSA) pair.
+// keyed by model/scenario/seed only — the backend and every hardware knob
+// are simulation-side, the trace itself is always generated at the default
+// bundle shape, matching the paper's §6.5 methodology — so sweeping hardware
+// axes, and evaluating the same workload on several backends, reuses one
+// trace per (model, BSA, seed) triple.
 func Evaluate(p Point, seed uint64) Record {
+	p = p.canon()
 	cfg := transformer.ModelZoo()[p.Model-1]
 	sc := workload.Scenarios()[p.Model]
 	tr := workload.CachedTrace(cfg, sc, workload.TraceOptions{BSA: p.BSA}, seed)
-	rep := accel.SimulateSeq(tr, p.Opt)
-	order, totals := rep.GroupTotals()
-	return Record{
-		Digest: digestKey(p), Model: p.Model, BSA: p.BSA, Seed: seed, Opt: p.Opt,
-		LatencyMS: rep.LatencyMS(), EnergyMJ: rep.EnergyMJ(), EDP: rep.EDP(),
-		Total: rep.Total, GroupOrder: order, Groups: totals,
+	rec := Record{Digest: digestKey(p), Model: p.Model, BSA: p.BSA, Seed: seed}
+	var rep *hw.Report
+	if p.Backend == nil {
+		opt := p.Opt
+		rec.Opt = &opt
+		rep = accel.SimulateSeq(tr, opt)
+	} else {
+		rec.Backend = p.Backend.Name()
+		data, err := p.Backend.EncodeOptions()
+		if err != nil {
+			panic(fmt.Sprintf("dse: %s options not encodable: %v", rec.Backend, err)) // unreachable: Grid/Validate admit only encodable options
+		}
+		rec.BackendOpt = data
+		rep = p.Backend.Simulate(tr)
 	}
+	order, totals := rep.GroupTotals()
+	rec.LatencyMS, rec.EnergyMJ, rec.EDP = rep.LatencyMS(), rep.EnergyMJ(), rep.EDP()
+	rec.Total, rec.GroupOrder, rec.Groups = rep.Total, order, totals
+	return rec
 }
 
 // Config parameterizes one sweep invocation.

@@ -77,12 +77,27 @@ func Frontier(recs []Record, objs ...Objective) []Record {
 	return front
 }
 
+// ByBackend groups records by backend name, preserving record order within
+// each group — the per-accelerator view of a cross-backend sweep (e.g. for
+// per-backend frontiers: Frontier(ByBackend(recs)["ptb"])).
+func ByBackend(recs []Record) map[string][]Record {
+	out := map[string][]Record{}
+	for _, r := range recs {
+		out[r.BackendName()] = append(out[r.BackendName()], r)
+	}
+	return out
+}
+
 // FrontierJSON is the serialized frontier artifact cmd/dse emits and CI
 // archives.
 type FrontierJSON struct {
 	Objectives []string `json:"objectives"`
 	Evaluated  int      `json:"evaluated"` // records the frontier was drawn from
-	Points     []Record `json:"points"`
+	// Backends counts the frontier points per backend — on a cross-backend
+	// sweep it shows at a glance which accelerators reach the frontier
+	// (encoding/json orders map keys, so the artifact stays canonical).
+	Backends map[string]int `json:"backends"`
+	Points   []Record       `json:"points"`
 }
 
 // EncodeFrontier packages a frontier with its provenance as indented JSON.
@@ -90,18 +105,22 @@ func EncodeFrontier(front []Record, evaluated int, objs ...Objective) ([]byte, e
 	if len(objs) == 0 {
 		objs = []Objective{Latency, Energy}
 	}
-	fj := FrontierJSON{Evaluated: evaluated, Points: front}
+	fj := FrontierJSON{Evaluated: evaluated, Points: front, Backends: map[string]int{}}
 	for _, o := range objs {
 		fj.Objectives = append(fj.Objectives, o.Name)
+	}
+	for _, r := range front {
+		fj.Backends[r.BackendName()]++
 	}
 	return json.MarshalIndent(fj, "", "  ")
 }
 
-// FprintFrontier renders the frontier as an aligned ASCII table.
+// FprintFrontier renders the frontier as an aligned ASCII table, one row
+// per point with its backend in the leading column.
 func FprintFrontier(w io.Writer, front []Record) {
-	rows := [][]string{{"point", "latency(ms)", "energy(mJ)", "EDP(pJ.s)"}}
+	rows := [][]string{{"backend", "point", "latency(ms)", "energy(mJ)", "EDP(pJ.s)"}}
 	for _, r := range front {
-		rows = append(rows, []string{r.Point().Label(),
+		rows = append(rows, []string{r.BackendName(), r.Point().Label(),
 			fmt.Sprintf("%.4f", r.LatencyMS),
 			fmt.Sprintf("%.4f", r.EnergyMJ),
 			fmt.Sprintf("%.4g", r.EDP)})

@@ -1,17 +1,23 @@
-// Package dse is the design-space exploration engine: it turns the Bishop
-// accelerator model into a searchable design space. A Space declares axes
+// Package dse is the design-space exploration engine: it turns the
+// accelerator models into a searchable design space. A Space declares axes
 // over accel.Options (array geometry, TTB volume, stratification threshold /
 // split target, ECP threshold, tech node) crossed with workload scenarios
-// (Table 2 model × ±BSA); the engine enumerates grid or seeded-random point
-// sets, evaluates them in parallel on the sched worker pool against cached
-// synthetic traces, persists every evaluated point to a resumable/shardable
-// JSONL checkpoint, and extracts latency/energy/EDP Pareto frontiers.
+// (Table 2 model × ±BSA) and, since the backend refactor, with the
+// accelerator *backend* itself (Bishop, the PTB baseline, the edge GPU —
+// any registered backend.Backend); the engine enumerates grid or
+// seeded-random point sets, evaluates them in parallel on the sched worker
+// pool against cached synthetic traces, persists every evaluated point to a
+// resumable/shardable JSONL checkpoint, and extracts latency/energy/EDP
+// Pareto frontiers — including cross-accelerator frontiers.
 package dse
 
 import (
 	"fmt"
 
 	"repro/internal/accel"
+	"repro/internal/backend"
+	"repro/internal/baseline/gpu"
+	"repro/internal/baseline/ptb"
 	"repro/internal/bundle"
 	"repro/internal/hw"
 	"repro/internal/tensor"
@@ -19,19 +25,58 @@ import (
 )
 
 // Point is one design-space coordinate: a workload scenario plus a full
-// accelerator configuration. Points are pure values; their identity is the
-// Digest, which is what the checkpoint and sharding machinery key on.
+// accelerator configuration on one backend. Points are pure values; their
+// identity is the Digest, which is what the checkpoint and sharding
+// machinery key on.
 type Point struct {
 	Model int  // Table 2 model index (1–5)
 	BSA   bool // use the BSA-trained activity statistics
-	Opt   accel.Options
+
+	// Opt is the Bishop configuration; it is meaningful when Backend is
+	// nil — the canonical spelling of a bishop point, kept for
+	// compatibility with the pre-backend engine (PR 3/4 checkpoints).
+	Opt accel.Options
+
+	// Backend, when non-nil, selects a non-bishop accelerator with its
+	// bound options. Grid, Sample, and Record.Point never store the bishop
+	// backend here (canon folds it into Opt), so the two spellings of a
+	// bishop point digest identically.
+	Backend backend.Backend
+}
+
+// canon normalizes the bishop spelling: a backend.Bishop value folds into
+// the legacy Opt field so every bishop point has one representation.
+func (p Point) canon() Point {
+	if b, ok := p.Backend.(backend.Bishop); ok {
+		p.Opt, p.Backend = b.Opt, nil
+	}
+	return p
+}
+
+// BackendName returns the registry name of the point's backend ("bishop"
+// when Backend is nil).
+func (p Point) BackendName() string {
+	p = p.canon()
+	if p.Backend != nil {
+		return p.Backend.Name()
+	}
+	return backend.BishopName
 }
 
 // Digest fingerprints the point: the workload coordinates folded into the
-// normalized-Options digest. Stable across JSON field ordering and across
-// processes.
+// configuration digest. Stable across JSON field ordering and across
+// processes. Bishop points use the bare accel.Options digest — the exact
+// pre-backend formula — so checkpoints written before the backend
+// coordinate existed keep their digests; other backends use the name-folded
+// backend.Backend digest, which cannot collide with it.
 func (p Point) Digest() uint64 {
-	h := p.Opt.Digest()
+	p = p.canon()
+	var h uint64
+	if p.Backend != nil {
+		h = p.Backend.Digest()
+	} else {
+		h = p.Opt.Digest()
+	}
 	const prime64 = 1099511628211
 	h ^= uint64(p.Model)
 	h *= prime64
@@ -42,13 +87,19 @@ func (p Point) Digest() uint64 {
 	return h
 }
 
-// Label renders the point compactly for tables and logs.
+// Label renders the point compactly for tables and logs. Non-bishop points
+// show only the workload coordinate — the backend name is rendered as its
+// own frontier-table column, and the bound options live in the record.
 func (p Point) Label() string {
-	o := p.Opt
+	p = p.canon()
 	s := fmt.Sprintf("m%d", p.Model)
 	if p.BSA {
 		s += "+bsa"
 	}
+	if p.Backend != nil {
+		return s
+	}
+	o := p.Opt
 	s += fmt.Sprintf(" %dx%d", o.Shape.BSt, o.Shape.BSn)
 	if !o.Stratify {
 		s += " homo"
@@ -70,6 +121,12 @@ type Space struct {
 	Models []int  // Table 2 indices (default {3})
 	BSA    []bool // default {false}
 
+	// Backends selects the accelerators to evaluate every workload on
+	// (default {"bishop"}). Bishop points cross the full Bishop axis set
+	// below; ptb and gpu points cross their own option axes; any other
+	// registered backend contributes its default configuration.
+	Backends []string
+
 	Shapes       []bundle.Shape // TTB volumes (default {bundle.DefaultShape})
 	ThetaS       []int          // stratification thresholds; -1 = balancing (default {-1})
 	SplitTargets []float64      // dense fractions, crossed only with ThetaS=-1 (default {0.5})
@@ -78,6 +135,11 @@ type Space struct {
 
 	Arrays []hw.ArrayConfig // compute provisioning (default {hw.BishopArray()})
 	Techs  []hw.Tech        // technology node (default {hw.Default28nm()})
+
+	// Per-backend option axes for the baselines (defaults: the §6.1
+	// equal-resource PTB configuration and the Jetson Nano).
+	PTB []ptb.Options // crossed when Backends includes "ptb"
+	GPU []gpu.Options // crossed when Backends includes "gpu"
 }
 
 func (s Space) normalized() Space {
@@ -86,6 +148,9 @@ func (s Space) normalized() Space {
 	}
 	if len(s.BSA) == 0 {
 		s.BSA = []bool{false}
+	}
+	if len(s.Backends) == 0 {
+		s.Backends = []string{backend.BishopName}
 	}
 	if len(s.Shapes) == 0 {
 		s.Shapes = []bundle.Shape{bundle.DefaultShape}
@@ -108,17 +173,29 @@ func (s Space) normalized() Space {
 	if len(s.Techs) == 0 {
 		s.Techs = []hw.Tech{hw.Default28nm()}
 	}
+	if len(s.PTB) == 0 {
+		s.PTB = []ptb.Options{ptb.DefaultOptions()}
+	}
+	if len(s.GPU) == 0 {
+		s.GPU = []gpu.Options{gpu.DefaultOptions()}
+	}
 	return s
 }
 
 // Validate reports an invalid axis value (models out of Table 2 range,
-// non-positive bundle shapes) before a sweep burns time on it.
+// non-positive bundle shapes, unregistered backend names, invalid baseline
+// options) before a sweep burns time on it.
 func (s Space) Validate() error {
 	n := s.normalized()
 	zoo := len(transformer.ModelZoo())
 	for _, m := range n.Models {
 		if m < 1 || m > zoo {
 			return fmt.Errorf("dse: model %d outside Table 2 range 1–%d", m, zoo)
+		}
+	}
+	for _, name := range n.Backends {
+		if !backend.Registered(name) {
+			return fmt.Errorf("dse: unknown backend %q (registered: %v)", name, backend.Names())
 		}
 	}
 	for _, sh := range n.Shapes {
@@ -136,10 +213,20 @@ func (s Space) Validate() error {
 			return fmt.Errorf("dse: negative ECP theta %d", th)
 		}
 	}
+	for _, o := range n.PTB {
+		if err := o.Validate(); err != nil {
+			return fmt.Errorf("dse: ptb %w", err)
+		}
+	}
+	for _, o := range n.GPU {
+		if err := o.Validate(); err != nil {
+			return fmt.Errorf("dse: gpu %w", err)
+		}
+	}
 	return nil
 }
 
-// makePoint assembles one coordinate from axis values. ECP θ=0 means
+// makePoint assembles one bishop coordinate from axis values. ECP θ=0 means
 // pruning off; the ECP shape always follows the point's TTB shape. Knobs
 // that cannot affect the simulation (the split target under an explicit
 // threshold, both stratifier knobs on the homogeneous core) are pinned to
@@ -161,32 +248,65 @@ func makePoint(model int, bsa bool, sh bundle.Shape, stratify bool,
 	return Point{Model: model, BSA: bsa, Opt: opt}
 }
 
+// backendPoints enumerates the configurations of one non-bishop backend for
+// a workload coordinate, in axis order.
+func (s Space) backendPoints(model int, bsa bool, name string) []Point {
+	var pts []Point
+	switch name {
+	case backend.PTBName:
+		for _, o := range s.PTB {
+			pts = append(pts, Point{Model: model, BSA: bsa, Backend: backend.PTB{Opt: o}})
+		}
+	case backend.GPUName:
+		for _, o := range s.GPU {
+			pts = append(pts, Point{Model: model, BSA: bsa, Backend: backend.GPU{Opt: o}})
+		}
+	default:
+		// A registered backend without a dedicated option axis contributes
+		// its default configuration (Validate rejects unregistered names;
+		// Grid and Sample on an unvalidated space simply skip them).
+		if b, err := backend.Default(name); err == nil {
+			pts = append(pts, Point{Model: model, BSA: bsa, Backend: b})
+		}
+	}
+	return pts
+}
+
 // Grid enumerates the full cross product in a fixed nested order (models
-// outermost, tech innermost). ThetaS ≥ 0 fixes the threshold directly and
-// is not crossed with SplitTargets (the split target only matters to the
-// balancing strategy), so the grid holds no aliased duplicates. The order
-// is deterministic: it defines each point's index for sharding.
+// outermost, then ±BSA, then the backend axis, tech innermost on the bishop
+// branch). ThetaS ≥ 0 fixes the threshold directly and is not crossed with
+// SplitTargets (the split target only matters to the balancing strategy), so
+// the grid holds no aliased duplicates. The order is deterministic: it
+// defines each point's index for sharding — and on a bishop-only space it is
+// exactly the pre-backend enumeration, so existing shard assignments and
+// checkpoints stay valid.
 func (s Space) Grid() []Point {
 	n := s.normalized()
 	var pts []Point
 	for _, m := range n.Models {
 		for _, bsa := range n.BSA {
-			for _, sh := range n.Shapes {
-				for _, strat := range n.Stratify {
-					thetas := n.ThetaS
-					if !strat {
-						thetas = thetas[:1] // threshold unused on the homogeneous core
-					}
-					for _, th := range thetas {
-						splits := n.SplitTargets
-						if !strat || th >= 0 {
-							splits = splits[:1]
+			for _, be := range n.Backends {
+				if be != backend.BishopName {
+					pts = append(pts, n.backendPoints(m, bsa, be)...)
+					continue
+				}
+				for _, sh := range n.Shapes {
+					for _, strat := range n.Stratify {
+						thetas := n.ThetaS
+						if !strat {
+							thetas = thetas[:1] // threshold unused on the homogeneous core
 						}
-						for _, sp := range splits {
-							for _, ecp := range n.ECPThetas {
-								for _, arr := range n.Arrays {
-									for _, tech := range n.Techs {
-										pts = append(pts, makePoint(m, bsa, sh, strat, th, sp, ecp, arr, tech))
+						for _, th := range thetas {
+							splits := n.SplitTargets
+							if !strat || th >= 0 {
+								splits = splits[:1]
+							}
+							for _, sp := range splits {
+								for _, ecp := range n.ECPThetas {
+									for _, arr := range n.Arrays {
+										for _, tech := range n.Techs {
+											pts = append(pts, makePoint(m, bsa, sh, strat, th, sp, ecp, arr, tech))
+										}
 									}
 								}
 							}
@@ -200,7 +320,8 @@ func (s Space) Grid() []Point {
 }
 
 // Sample draws count points from the space with a seeded RNG: each axis is
-// sampled independently and uniformly, the seeded-random search mode for
+// sampled independently and uniformly (workload first, then the backend,
+// then the chosen backend's option axes), the seeded-random search mode for
 // grids too large to enumerate. Duplicate coordinates are kept (the sweep
 // engine dedupes by digest), and the sequence is fully determined by seed.
 func (s Space) Sample(count int, seed uint64) []Point {
@@ -211,6 +332,22 @@ func (s Space) Sample(count int, seed uint64) []Point {
 	for i := 0; i < count; i++ {
 		m := n.Models[pick(len(n.Models))]
 		bsa := n.BSA[pick(len(n.BSA))]
+		// A single-backend space skips the backend draw entirely: Intn
+		// consumes RNG state even for a one-element axis, and a bishop-only
+		// space must reproduce the pre-backend sample stream exactly so
+		// legacy random-search checkpoints keep matching their digests.
+		be := n.Backends[0]
+		if len(n.Backends) > 1 {
+			be = n.Backends[pick(len(n.Backends))]
+		}
+		if be != backend.BishopName {
+			bp := n.backendPoints(m, bsa, be)
+			if len(bp) == 0 {
+				continue // unregistered name on an unvalidated space
+			}
+			pts = append(pts, bp[pick(len(bp))])
+			continue
+		}
 		sh := n.Shapes[pick(len(n.Shapes))]
 		strat := n.Stratify[pick(len(n.Stratify))]
 		th := n.ThetaS[pick(len(n.ThetaS))]

@@ -6,8 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/accel"
-	"repro/internal/baseline/gpu"
-	"repro/internal/baseline/ptb"
+	"repro/internal/backend"
 	"repro/internal/bundle"
 	"repro/internal/dse"
 	"repro/internal/hw"
@@ -33,10 +32,21 @@ func traceFor(m int, bsa bool, seed uint64) *transformer.Trace {
 	return workload.CachedTrace(cfg, workload.Scenarios()[m], workload.TraceOptions{BSA: bsa}, seed)
 }
 
-// variantsCache memoizes the Fig. 12/13 variant reports per (model, seed):
+// mustBackend returns the named backend in its default configuration; the
+// figure drivers reference only registered builtins, so failure is a
+// programming error.
+func mustBackend(name string) backend.Backend {
+	b, err := backend.Default(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// variantsCache memoizes the Fig. 12/13 variant records per (model, seed):
 // Fig12, Fig13, and Summary all consume the identical matrix, so one
-// simulation pass serves all three. Entries use the same singleflight shape
-// as the workload trace cache; the shared reports are read-only.
+// evaluation pass serves all three. Entries use the same singleflight shape
+// as the workload trace cache; the shared records are read-only.
 var variantsCache = struct {
 	mu sync.Mutex
 	m  map[[2]uint64]*variantsEntry
@@ -44,13 +54,13 @@ var variantsCache = struct {
 
 type variantsEntry struct {
 	once sync.Once
-	reps []*hw.Report
+	recs []dse.Record
 }
 
 // variants returns the five Fig. 12/13 accelerator variants for one model
-// in order — GPU, PTB, Bishop, Bishop+BSA, Bishop+BSA+ECP — simulating
+// in order — GPU, PTB, Bishop, Bishop+BSA, Bishop+BSA+ECP — evaluating
 // them concurrently on first request and memoizing the result.
-func variants(m int, seed uint64) []*hw.Report {
+func variants(m int, seed uint64) []dse.Record {
 	key := [2]uint64{uint64(m), seed}
 	variantsCache.mu.Lock()
 	e, ok := variantsCache.m[key]
@@ -59,36 +69,43 @@ func variants(m int, seed uint64) []*hw.Report {
 		variantsCache.m[key] = e
 	}
 	variantsCache.mu.Unlock()
-	e.once.Do(func() { e.reps = simulateVariants(m, seed) })
-	return e.reps
+	e.once.Do(func() { e.recs = simulateVariants(m, seed) })
+	return e.recs
 }
 
-func simulateVariants(m int, seed uint64) []*hw.Report {
-	base := traceFor(m, false, seed)
-	bsaT := traceFor(m, true, seed)
+// variantPoints spells the five §6.2 accelerator variants of one model as
+// design-space coordinates on the backend pipeline.
+func variantPoints(m int) []dse.Point {
 	optE := accel.DefaultOptions()
 	theta := paperTheta(m)
 	optE.ECP = &bundle.ECPConfig{Shape: optE.Shape, ThetaQ: theta, ThetaK: theta}
-	return mustCollect(5, func(i int) *hw.Report {
-		switch i {
-		case 0:
-			return gpu.Simulate(base, gpu.DefaultOptions())
-		case 1:
-			return ptb.Simulate(base, ptb.DefaultOptions())
-		case 2:
-			return accel.Simulate(base, accel.DefaultOptions())
-		case 3:
-			return accel.Simulate(bsaT, accel.DefaultOptions())
-		default:
-			return accel.Simulate(bsaT, optE)
-		}
-	})
+	return []dse.Point{
+		{Model: m, Backend: mustBackend(backend.GPUName)},
+		{Model: m, Backend: mustBackend(backend.PTBName)},
+		{Model: m, Opt: accel.DefaultOptions()},
+		{Model: m, BSA: true, Opt: accel.DefaultOptions()},
+		{Model: m, BSA: true, Opt: optE},
+	}
+}
+
+// simulateVariants evaluates the variant matrix through the DSE engine —
+// the same backend pipeline cmd/dse sweeps — so the §6.2 comparison figures
+// are thin queries over cross-backend records.
+func simulateVariants(m int, seed uint64) []dse.Record {
+	rs, err := dse.Sweep(context.Background(), variantPoints(m), dse.Config{Seed: seed})
+	if err != nil {
+		panic(err) // in-memory sweeps fail only on a worker panic
+	}
+	if !rs.Complete() {
+		panic("experiments: incomplete variant sweep")
+	}
+	return rs.Records
 }
 
 // allVariants evaluates variants for models 1–5 concurrently, returning
-// results indexed by model-1.
-func allVariants(seed uint64) [][]*hw.Report {
-	return mustCollect(5, func(i int) []*hw.Report { return variants(i+1, seed) })
+// records indexed by model-1.
+func allVariants(seed uint64) [][]dse.Record {
+	return mustCollect(5, func(i int) []dse.Record { return variants(i+1, seed) })
 }
 
 // mustCollect fans fn out across the worker pool with results in index
@@ -154,14 +171,15 @@ func Fig6(seed uint64) *Table {
 }
 
 // Fig11 reproduces the layer-wise normalized latency and energy comparison
-// of Bishop vs PTB for one of Models 1–4. Values are normalized by Bishop's
-// first-block P1 latency/energy, as in the paper.
+// of Bishop vs PTB for one of Models 1–4, running both accelerators through
+// the backend interface. Values are normalized by Bishop's first-block P1
+// latency/energy, as in the paper.
 func Fig11(model int, seed uint64) *Table {
 	tr := traceFor(model, false, seed)
 	var b, p *hw.Report
 	mustDo(
-		func() { b = accel.Simulate(tr, accel.DefaultOptions()) },
-		func() { p = ptb.Simulate(tr, ptb.DefaultOptions()) })
+		func() { b = mustBackend(backend.BishopName).Simulate(tr) },
+		func() { p = mustBackend(backend.PTBName).Simulate(tr) })
 
 	t := &Table{ID: "fig11", Title: fmt.Sprintf("Layer-wise normalized latency/energy, Model %d (Fig. 11)", model),
 		Header: []string{"Block", "Layer", "PTB-lat", "Bishop-lat", "PTB-en", "Bishop-en"}}
@@ -211,10 +229,10 @@ func Fig12(seed uint64) *Table {
 		Header: []string{"Model", "GPU(ms)", "PTB", "Bishop", "+BSA", "+BSA+ECP"}}
 	for m, r := range allVariants(seed) {
 		m++
-		gms := r[0].LatencyMS()
+		gms := r[0].LatencyMS
 		t.AddRow(fmt.Sprintf("Model %d", m), f2(gms),
-			x(gms/r[1].LatencyMS()), x(gms/r[2].LatencyMS()),
-			x(gms/r[3].LatencyMS()), x(gms/r[4].LatencyMS()))
+			x(gms/r[1].LatencyMS), x(gms/r[2].LatencyMS),
+			x(gms/r[3].LatencyMS), x(gms/r[4].LatencyMS))
 	}
 	t.Note("paper speedups over GPU: Bishop 156-318x, +BSA 194-389x, +BSA+ECP 203-475x")
 	return t
@@ -226,10 +244,10 @@ func Fig13(seed uint64) *Table {
 		Header: []string{"Model", "GPU(mJ)", "PTB", "Bishop", "+BSA", "+BSA+ECP"}}
 	for m, r := range allVariants(seed) {
 		m++
-		gmj := r[0].EnergyMJ()
+		gmj := r[0].EnergyMJ
 		t.AddRow(fmt.Sprintf("Model %d", m), f2(gmj),
-			x(gmj/r[1].EnergyMJ()), x(gmj/r[2].EnergyMJ()),
-			x(gmj/r[3].EnergyMJ()), x(gmj/r[4].EnergyMJ()))
+			x(gmj/r[1].EnergyMJ), x(gmj/r[2].EnergyMJ),
+			x(gmj/r[3].EnergyMJ), x(gmj/r[4].EnergyMJ))
 	}
 	return t
 }
@@ -242,9 +260,9 @@ func Summary(seed uint64) *Table {
 	var spPTB, enPTB, spGPU float64
 	for _, r := range allVariants(seed) {
 		full := r[4] // Bishop+BSA+ECP
-		spPTB += r[1].LatencyMS() / full.LatencyMS()
-		enPTB += r[1].EnergyMJ() / full.EnergyMJ()
-		spGPU += r[0].LatencyMS() / full.LatencyMS()
+		spPTB += r[1].LatencyMS / full.LatencyMS
+		enPTB += r[1].EnergyMJ / full.EnergyMJ
+		spGPU += r[0].LatencyMS / full.LatencyMS
 	}
 	t.AddRow("Bishop(+BSA+ECP) vs PTB", x(spPTB/5), x(enPTB/5))
 	t.AddRow("Bishop(+BSA+ECP) vs edge GPU", x(spGPU/5), "-")
@@ -273,7 +291,7 @@ func Fig15(seed uint64) *Table {
 		Header: []string{"Dense-fraction", "Latency(ms)", "Energy(mJ)", "EDP(norm)"}}
 	fracs := []float64{0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9}
 	recs := sweep(dse.Space{Models: []int{3}, SplitTargets: fracs}, seed)
-	pRep := ptb.Simulate(traceFor(3, false, seed), ptb.DefaultOptions())
+	pRep := mustBackend(backend.PTBName).Simulate(traceFor(3, false, seed))
 	var best float64
 	for _, rec := range recs {
 		if best == 0 || rec.EDP < best {
@@ -355,9 +373,9 @@ func Sec64(seed uint64) *Table {
 	optHomo.Stratify = false
 	var het, homo, p *hw.Report
 	mustDo(
-		func() { het = accel.Simulate(tr, accel.DefaultOptions()) },
-		func() { homo = accel.Simulate(tr, optHomo) },
-		func() { p = ptb.Simulate(tr, ptb.DefaultOptions()) })
+		func() { het = mustBackend(backend.BishopName).Simulate(tr) },
+		func() { homo = backend.Bishop{Opt: optHomo}.Simulate(tr) },
+		func() { p = mustBackend(backend.PTBName).Simulate(tr) })
 	t.AddRow("dense-core only (homogeneous)", f4(homo.LatencyMS()), f4(homo.EnergyMJ()), "ref")
 	t.AddRow("heterogeneous (stratified)", f4(het.LatencyMS()), f4(het.EnergyMJ()),
 		fmt.Sprintf("%.2fx faster, %.2fx less energy",
