@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json dse-smoke backend-smoke trace-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-json dse-smoke backend-smoke trace-smoke serve-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,67 @@ backend-smoke:
 		{ echo "backend-smoke: empty frontier in $(BACKEND_FRONTIER_OUT)" >&2; exit 1; }
 	@echo "wrote $(BACKEND_FRONTIER_OUT)"
 
+# Sweep-serving smoke: compile a spec with cmd/dse -print-spec, run it both
+# through `cmd/dse -spec` and through a live bishopd daemon, and require the
+# daemon's NDJSON record stream to be bit-identical to the CLI's record
+# dump. Then SIGTERM the daemon (asserting a graceful drain), restart it on
+# the same result cache, resubmit the identical spec, and require the rerun
+# to evaluate zero points — every record served from the digest-addressed
+# cache. SERVE_CACHE / SERVE_FRONTIER_OUT override the artifact paths.
+SERVE_CACHE ?= serve-cache
+SERVE_FRONTIER_OUT ?= serve-frontier.json
+serve-smoke:
+	@set -e; \
+	rm -rf $(SERVE_CACHE) serve-spec.json serve-cli.jsonl serve-cli.sorted \
+		serve-daemon.jsonl serve-daemon.sorted $(SERVE_FRONTIER_OUT) \
+		serve-bishopd.log serve-bishopd2.log bishopd.bin; \
+	$(GO) run ./cmd/dse -models 4 -backends bishop,ptb,gpu -ecp 0,10 -print-spec > serve-spec.json; \
+	$(GO) run ./cmd/dse -spec serve-spec.json -records serve-cli.jsonl > /dev/null; \
+	$(GO) build -o bishopd.bin ./cmd/bishopd; \
+	./bishopd.bin -addr 127.0.0.1:0 -cache-dir $(SERVE_CACHE) > serve-bishopd.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do grep -q 'listening on' serve-bishopd.log && break; sleep 0.1; done; \
+	addr=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' serve-bishopd.log); \
+	[ -n "$$addr" ] || { echo "serve-smoke: daemon did not start:" >&2; cat serve-bishopd.log >&2; exit 1; }; \
+	id=$$(curl -sS -X POST --data-binary @serve-spec.json "http://$$addr/v1/sweeps" | \
+		sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p'); \
+	[ -n "$$id" ] || { echo "serve-smoke: submit returned no job id" >&2; exit 1; }; \
+	curl -sS "http://$$addr/v1/sweeps/$$id/records" > serve-daemon.jsonl; \
+	curl -sS "http://$$addr/v1/sweeps/$$id/frontier" > $(SERVE_FRONTIER_OUT); \
+	grep -q '"digest"' $(SERVE_FRONTIER_OUT) || \
+		{ echo "serve-smoke: empty frontier in $(SERVE_FRONTIER_OUT)" >&2; exit 1; }; \
+	sort serve-cli.jsonl > serve-cli.sorted; sort serve-daemon.jsonl > serve-daemon.sorted; \
+	cmp -s serve-cli.sorted serve-daemon.sorted || \
+		{ echo "serve-smoke: daemon record stream differs from cmd/dse -spec" >&2; exit 1; }; \
+	kill -TERM $$pid; \
+	for i in $$(seq 1 100); do kill -0 $$pid 2>/dev/null || break; sleep 0.1; done; \
+	kill -0 $$pid 2>/dev/null && { echo "serve-smoke: daemon ignored SIGTERM" >&2; exit 1; }; \
+	grep -q 'bishopd: drained' serve-bishopd.log || \
+		{ echo "serve-smoke: no graceful drain:" >&2; cat serve-bishopd.log >&2; exit 1; }; \
+	./bishopd.bin -addr 127.0.0.1:0 -cache-dir $(SERVE_CACHE) > serve-bishopd2.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do grep -q 'listening on' serve-bishopd2.log && break; sleep 0.1; done; \
+	addr=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' serve-bishopd2.log); \
+	[ -n "$$addr" ] || { echo "serve-smoke: daemon did not restart:" >&2; cat serve-bishopd2.log >&2; exit 1; }; \
+	curl -sS -X POST --data-binary @serve-spec.json "http://$$addr/v1/sweeps" > /dev/null; \
+	st=""; \
+	for i in $$(seq 1 100); do \
+		st=$$(curl -sS "http://$$addr/v1/sweeps/$$id"); \
+		echo "$$st" | grep -q '"state":"done"' && break; sleep 0.1; \
+	done; \
+	echo "$$st" | grep -q '"state":"done"' || \
+		{ echo "serve-smoke: resubmitted sweep never finished: $$st" >&2; exit 1; }; \
+	echo "$$st" | grep -q '"evaluated":0' || \
+		{ echo "serve-smoke: resubmit re-evaluated cached points: $$st" >&2; exit 1; }; \
+	echo "$$st" | grep -Eq '"cache_hits":[1-9]' || \
+		{ echo "serve-smoke: resubmit not served from the result cache: $$st" >&2; exit 1; }; \
+	kill -TERM $$pid; \
+	for i in $$(seq 1 100); do kill -0 $$pid 2>/dev/null || break; sleep 0.1; done; \
+	rm -f serve-cli.sorted serve-daemon.sorted bishopd.bin; \
+	echo "serve-smoke: daemon stream bit-identical to cmd/dse -spec; resubmit served entirely from $(SERVE_CACHE)"
+
 fmt:
 	gofmt -w .
 
@@ -87,4 +148,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race bench dse-smoke backend-smoke trace-smoke
+ci: build fmt-check vet race bench dse-smoke backend-smoke trace-smoke serve-smoke

@@ -5,13 +5,21 @@
 // latency/energy Pareto frontier — cross-backend when several backends are
 // swept — as an ASCII table and JSON artifact.
 //
+// The flags compile into a dse.SweepSpec — the same document cmd/bishopd
+// accepts over HTTP — and both front ends execute it through serve.Run, so
+// a spec produces identical records whether run here or submitted to the
+// daemon. -print-spec emits the compiled spec instead of running it;
+// -spec file.json runs a saved spec wholesale.
+//
 // Sweeps are resumable and shardable: with -checkpoint every evaluated
 // point is durably appended as it completes, so an interrupted run picks up
 // where it stopped; with -shard i/n the point set is partitioned
 // deterministically across n machines and the shard checkpoints merge into
 // the unsharded result. With -trace-dir the shards read one digest-addressed
 // trace set (generated once, e.g. by `trace pack`, or persisted on first
-// miss) instead of regenerating identical traces per process.
+// miss) instead of regenerating identical traces per process. With
+// -result-cache the sweep consults (and feeds) a digest-addressed record
+// cache, the same store bishopd uses, so repeated specs cost disk reads.
 //
 // Usage:
 //
@@ -20,10 +28,13 @@
 //	dse -models 1,2,3,4,5 -bsa false,true -checkpoint dse.jsonl -shard 0/4
 //	dse -random 64 -seed 7 -frontier frontier.json           # random search
 //	dse -models 3 -backends bishop,ptb,gpu -ecp 0,6          # cross-backend frontier
+//	dse -models 3 -ecp 0,6 -print-spec > sweep.json          # compile, don't run
+//	dse -spec sweep.json -records records.jsonl              # run a saved spec
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"maps"
@@ -34,6 +45,7 @@ import (
 
 	"repro/internal/bundle"
 	"repro/internal/dse"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -53,45 +65,96 @@ func main() {
 	shard := flag.String("shard", "", "shard spec i/n: evaluate point i mod n == i only")
 	jobs := flag.Int("jobs", 0, "parallel evaluators (0 = all CPUs)")
 	frontier := flag.String("frontier", "", "write the Pareto frontier JSON to this path")
+	specPath := flag.String("spec", "", "run this saved sweep spec instead of compiling one from flags")
+	printSpec := flag.Bool("print-spec", false, "print the compiled sweep spec as JSON and exit without evaluating")
+	records := flag.String("records", "", "write the merged record set as JSONL to this path")
+	resultCache := flag.String("result-cache", "", "digest-addressed result-cache directory (shared with bishopd)")
 	flag.Parse()
 
-	space, err := parseSpace(*models, *bsa, *shapes, *thetas, *splits, *stratify, *ecp)
-	if err != nil {
-		fatal(err)
-	}
-	space.Backends = split(*backends)
-	if err := space.Validate(); err != nil {
-		fatal(err)
-	}
-	points := space.Grid()
-	if *random > 0 {
-		points = space.Sample(*random, *seed)
-	}
-
-	cfg := dse.Config{Seed: *seed, Checkpoint: *checkpoint, Jobs: *jobs}
-	if *shard != "" {
-		if cfg.Shard, cfg.Shards, err = parseShard(*shard); err != nil {
+	var spec dse.SweepSpec
+	if *specPath != "" {
+		// A saved spec is the whole sweep definition: reject flags that
+		// would silently change what it means. Execution attachments
+		// (where to checkpoint, trace, parallelize) may still override.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "models", "bsa", "backends", "shapes", "thetas", "splits",
+				"stratify", "ecp", "random", "seed", "shard":
+				fatal(fmt.Errorf("-%s conflicts with -spec; edit the spec file instead", f.Name))
+			}
+		})
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
 			fatal(err)
 		}
+		if spec, err = dse.DecodeSpec(data); err != nil {
+			fatal(err)
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "checkpoint":
+				spec.Checkpoint = *checkpoint
+			case "trace-dir":
+				spec.TraceDir = *traceDir
+			case "jobs":
+				spec.Jobs = *jobs
+			}
+		})
+	} else {
+		space, err := parseSpace(*models, *bsa, *shapes, *thetas, *splits, *stratify, *ecp)
+		if err != nil {
+			fatal(err)
+		}
+		space.Backends = split(*backends)
+		spec = dse.SweepSpec{
+			Space:      space,
+			Random:     *random,
+			Seed:       *seed,
+			Checkpoint: *checkpoint,
+			TraceDir:   *traceDir,
+			Jobs:       *jobs,
+		}
+		if *shard != "" {
+			if spec.Shard, spec.Shards, err = parseShard(*shard); err != nil {
+				fatal(err)
+			}
+		}
 	}
-	if *traceDir != "" {
-		workload.SetTraceDir(*traceDir)
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+	if *printSpec {
+		data, err := dse.EncodeSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+		return
 	}
 
-	rs, err := dse.Sweep(context.Background(), points, cfg)
+	var opt serve.RunOptions
+	if *resultCache != "" {
+		opt.Cache = &serve.Cache{Dir: *resultCache}
+	}
+	res, err := serve.Run(context.Background(), spec, opt)
 	if err != nil {
 		fatal(err)
 	}
+	rs := res.Set
+	norm := spec.Normalized()
 	fmt.Printf("evaluated %d points (%d reused from checkpoint or duplicates); %d/%d records (shard %d/%d, seed %d)\n",
 		rs.Evaluated, len(rs.Records)-rs.Evaluated, len(rs.Records), len(rs.Points),
-		cfg.Shard, max(cfg.Shards, 1), *seed)
+		norm.Shard, norm.Shards, norm.Seed)
 	byBackend := dse.ByBackend(rs.Records)
 	for _, name := range slices.Sorted(maps.Keys(byBackend)) {
 		fmt.Printf("backend %s: %d records\n", name, len(byBackend[name]))
 	}
-	if *traceDir != "" {
+	if norm.TraceDir != "" {
 		h, m, e := workload.TraceStoreStats()
-		fmt.Printf("trace store %s: %d hits, %d misses, %d errors\n", *traceDir, h, m, e)
+		fmt.Printf("trace store %s: %d hits, %d misses, %d errors\n", norm.TraceDir, h, m, e)
+	}
+	if *resultCache != "" {
+		fmt.Printf("result cache %s: %d hits, %d misses\n", *resultCache, res.CacheHits, res.CacheMisses)
 	}
 	fmt.Println()
 
@@ -109,10 +172,31 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s (%d frontier points)\n", *frontier, len(front))
 	}
+	if *records != "" {
+		if err := writeRecords(*records, rs.Records); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d records)\n", *records, len(rs.Records))
+	}
 	if !rs.Complete() {
 		fmt.Printf("\n%d points remain (other shards, or resume with the same -checkpoint)\n",
 			len(rs.Points)-len(rs.Records))
 	}
+}
+
+// writeRecords dumps the merged record set as JSONL — the same line format
+// the checkpoint and the daemon's record stream use.
+func writeRecords(path string, recs []dse.Record) error {
+	var buf strings.Builder
+	for _, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
 }
 
 func parseSpace(models, bsa, shapes, thetas, splits, stratify, ecp string) (dse.Space, error) {

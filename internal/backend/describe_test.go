@@ -1,0 +1,98 @@
+package backend
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestDescribeKnownBackends(t *testing.T) {
+	want := map[string][]string{
+		BishopName: {"Tech", "Array", "Shape", "Stratify", "ThetaS", "SplitTarget", "ECP"},
+		PTBName:    {"Tech", "Array", "TimeWindow", "OutLanes"},
+		GPUName:    {"PeakFLOPS", "BandwidthBps", "Utilization", "KernelOverhead", "PowerW"},
+	}
+	for name, fields := range want {
+		d, err := Describe(name)
+		if err != nil {
+			t.Fatalf("Describe(%s): %v", name, err)
+		}
+		if d.Name != name {
+			t.Errorf("%s: Name = %q", name, d.Name)
+		}
+		var got []string
+		for _, f := range d.Options {
+			got = append(got, f.Name)
+		}
+		if !reflect.DeepEqual(got, fields) {
+			t.Errorf("%s option fields = %v, want %v", name, got, fields)
+		}
+	}
+}
+
+// TestDescribeDefaultsDecode pins that every backend's advertised defaults
+// document is accepted by its own strict decoder and reproduces the default
+// configuration — the schema can never drift from the codec.
+func TestDescribeDefaultsDecode(t *testing.T) {
+	for _, d := range DescribeAll() {
+		b, err := Decode(d.Name, d.Defaults)
+		if err != nil {
+			t.Fatalf("%s: defaults rejected by Decode: %v", d.Name, err)
+		}
+		def, err := Default(d.Name)
+		if err != nil {
+			t.Fatalf("Default(%s): %v", d.Name, err)
+		}
+		if b.Digest() != def.Digest() {
+			t.Errorf("%s: decoded defaults digest %016x != default digest %016x",
+				d.Name, b.Digest(), def.Digest())
+		}
+	}
+}
+
+func TestDescribeFieldTypes(t *testing.T) {
+	d, err := Describe(GPUName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range d.Options {
+		if f.Type != "number" && f.Type != "integer" {
+			t.Errorf("gpu field %s has type %q, want numeric", f.Name, f.Type)
+		}
+	}
+	d, err = Describe(BishopName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]string{}
+	for _, f := range d.Options {
+		types[f.Name] = f.Type
+	}
+	for field, want := range map[string]string{
+		"Stratify": "boolean", "ThetaS": "integer", "Tech": "object", "ECP": "null",
+	} {
+		if types[field] != want {
+			t.Errorf("bishop field %s type = %q, want %q", field, types[field], want)
+		}
+	}
+}
+
+func TestDescribeUnknown(t *testing.T) {
+	if _, err := Describe("nope"); err == nil {
+		t.Fatal("Describe of unregistered backend succeeded")
+	}
+}
+
+func TestDescriptionMarshals(t *testing.T) {
+	data, err := json.Marshal(DescribeAll())
+	if err != nil {
+		t.Fatalf("marshal descriptions: %v", err)
+	}
+	var back []Description
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal descriptions: %v", err)
+	}
+	if len(back) != len(DescribeAll()) {
+		t.Fatal("description round trip lost entries")
+	}
+}

@@ -97,6 +97,12 @@ func (r *Record) valid() bool {
 	}
 }
 
+// Valid reports whether a decoded record is self-consistent (bishop records
+// carry their Options, non-bishop records a decodable options document),
+// canonicalizing an explicit bishop tag in place. The serving layer's result
+// cache uses it to reject corrupt or stale cache entries.
+func (r *Record) Valid() bool { return r.valid() }
+
 // NonGroupTotal sums the group totals for every group except the named one,
 // in group order — e.g. the projection/MLP share when excluding "ATN".
 func (r Record) NonGroupTotal(exclude string) hw.Result {
@@ -161,6 +167,20 @@ type Config struct {
 	Shard, Shards int
 
 	Jobs int // parallel evaluators (<=0 → GOMAXPROCS)
+
+	// Preloaded seeds the sweep with records that are already known — the
+	// serving layer's digest-addressed result cache. Records carrying the
+	// sweep's seed are adopted into the result set without re-evaluation,
+	// exactly like checkpoint records; they are not re-appended to the
+	// checkpoint (they are already durable wherever they came from).
+	Preloaded []Record
+
+	// OnRecord, when non-nil, observes every *fresh* evaluation right after
+	// it lands in the checkpoint, with its enumeration index set. Calls are
+	// serialized by the sweep's internal lock, so the callback may touch
+	// shared state without further synchronization — it is the serving
+	// layer's record-streaming and cache-publication hook.
+	OnRecord func(Record)
 }
 
 func (c *Config) normalize() error {
@@ -224,6 +244,13 @@ func Sweep(ctx context.Context, points []Point, cfg Config) (*ResultSet, error) 
 			}
 		}
 	}
+	for _, r := range cfg.Preloaded {
+		// Same seed discipline as the checkpoint; malformed injected records
+		// are dropped and their points simply re-evaluate.
+		if r.Seed == cfg.Seed && r.valid() {
+			done[r.Digest] = r
+		}
+	}
 
 	// Shard partition, then drop points that are already evaluated —
 	// checkpointed at this seed, or duplicated within the point set itself
@@ -258,6 +285,9 @@ func Sweep(ctx context.Context, points []Point, cfg Config) (*ResultSet, error) 
 			}
 		}
 		fresh[rec.Digest] = rec
+		if cfg.OnRecord != nil {
+			cfg.OnRecord(rec)
+		}
 		return nil
 	})
 

@@ -117,29 +117,33 @@ func (p Point) Label() string {
 // Space declares the sweep axes. Empty axes take the single-element default
 // noted on each field, so a zero Space describes exactly one point: Model 3
 // under the full-featured Bishop configuration.
+// The JSON tags are the SweepSpec wire format: a Space embedded in a spec
+// document uses these lower-case axis names, while the nested option/config
+// values (hw.Tech, ptb.Options, …) keep their canonical Go-field encodings —
+// the same spellings the checkpoint records use.
 type Space struct {
-	Models []int  // Table 2 indices (default {3})
-	BSA    []bool // default {false}
+	Models []int  `json:"models,omitempty"` // Table 2 indices (default {3})
+	BSA    []bool `json:"bsa,omitempty"`    // default {false}
 
 	// Backends selects the accelerators to evaluate every workload on
 	// (default {"bishop"}). Bishop points cross the full Bishop axis set
 	// below; ptb and gpu points cross their own option axes; any other
 	// registered backend contributes its default configuration.
-	Backends []string
+	Backends []string `json:"backends,omitempty"`
 
-	Shapes       []bundle.Shape // TTB volumes (default {bundle.DefaultShape})
-	ThetaS       []int          // stratification thresholds; -1 = balancing (default {-1})
-	SplitTargets []float64      // dense fractions, crossed only with ThetaS=-1 (default {0.5})
-	Stratify     []bool         // default {true}; false = homogeneous dense-only ablation
-	ECPThetas    []int          // ECP θ_p; 0 = pruning off (default {0})
+	Shapes       []bundle.Shape `json:"shapes,omitempty"`        // TTB volumes (default {bundle.DefaultShape})
+	ThetaS       []int          `json:"thetas,omitempty"`        // stratification thresholds; -1 = balancing (default {-1})
+	SplitTargets []float64      `json:"split_targets,omitempty"` // dense fractions, crossed only with ThetaS=-1 (default {0.5})
+	Stratify     []bool         `json:"stratify,omitempty"`      // default {true}; false = homogeneous dense-only ablation
+	ECPThetas    []int          `json:"ecp_thetas,omitempty"`    // ECP θ_p; 0 = pruning off (default {0})
 
-	Arrays []hw.ArrayConfig // compute provisioning (default {hw.BishopArray()})
-	Techs  []hw.Tech        // technology node (default {hw.Default28nm()})
+	Arrays []hw.ArrayConfig `json:"arrays,omitempty"` // compute provisioning (default {hw.BishopArray()})
+	Techs  []hw.Tech        `json:"techs,omitempty"`  // technology node (default {hw.Default28nm()})
 
 	// Per-backend option axes for the baselines (defaults: the §6.1
 	// equal-resource PTB configuration and the Jetson Nano).
-	PTB []ptb.Options // crossed when Backends includes "ptb"
-	GPU []gpu.Options // crossed when Backends includes "gpu"
+	PTB []ptb.Options `json:"ptb,omitempty"` // crossed when Backends includes "ptb"
+	GPU []gpu.Options `json:"gpu,omitempty"` // crossed when Backends includes "gpu"
 }
 
 func (s Space) normalized() Space {

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dse"
+	"repro/internal/hw"
+)
+
+// Cache is a digest-addressed store of evaluation records: one checkpoint-
+// format JSON document per (point digest, trace seed) at
+// <dir>/<digest>.s<seed>.json. It is the daemon's O(1) answer to repeated
+// evaluations under load — any sweep or single-point evaluation that lands
+// on a digest another request already computed is served from disk instead
+// of re-simulated — and it persists across daemon restarts.
+//
+// Publication mirrors tracefile.Store.Save: bytes land in a temp file in
+// the same directory and are published with an atomic rename, so under
+// concurrent writers of one key the entry is always a complete document
+// (evaluation is deterministic, so every competing writer carries the same
+// record and it does not matter which wins).
+type Cache struct {
+	Dir string
+}
+
+// Path returns where the record for (digest, seed) lives.
+func (c Cache) Path(digest string, seed uint64) string {
+	return filepath.Join(c.Dir, fmt.Sprintf("%s.s%d.json", digest, seed))
+}
+
+// Load returns the cached record for (digest, seed). A miss — absent,
+// unreadable, corrupt, or mislabeled entry — reports ok=false; corrupt
+// entries are never fatal, the point simply re-evaluates.
+func (c Cache) Load(digest string, seed uint64) (dse.Record, bool) {
+	data, err := os.ReadFile(c.Path(digest, seed))
+	if err != nil {
+		return dse.Record{}, false
+	}
+	var r dse.Record
+	if err := hw.DecodeStrict(data, &r); err != nil {
+		return dse.Record{}, false
+	}
+	if !r.Valid() || r.Digest != digest || r.Seed != seed {
+		return dse.Record{}, false
+	}
+	return r, true
+}
+
+// Save publishes rec under its own digest and seed, atomically.
+func (c Cache) Save(rec dse.Record) error {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return fmt.Errorf("serve: cache: %w", err)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: cache: marshal record: %w", err)
+	}
+	f, err := os.CreateTemp(c.Dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: cache: %w", err)
+	}
+	tmp := f.Name()
+	_, err = f.Write(append(data, '\n'))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, c.Path(rec.Digest, rec.Seed))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: cache: save %s: %w", rec.Digest, err)
+	}
+	return nil
+}
