@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json dse-smoke backend-smoke trace-smoke serve-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-json dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -138,6 +138,76 @@ serve-smoke:
 	rm -f serve-cli.sorted serve-daemon.sorted bishopd.bin; \
 	echo "serve-smoke: daemon stream bit-identical to cmd/dse -spec; resubmit served entirely from $(SERVE_CACHE)"
 
+# Distributed-sweep smoke: 3 local bishopd workers (two behind a seeded
+# fault proxy injecting drops, 500s, and mid-stream truncation), driven by
+# `bishopctl run`. One worker is SIGKILLed as soon as the first record is
+# durably merged — mid-sweep — so its shard must be re-leased and absorbed
+# by the survivors. The merged checkpoint must come out byte-identical to an
+# unsharded `cmd/dse -spec` run of the same spec, and the merged frontier
+# artifact must be non-empty. FLEET_CACHE / FLEET_FRONTIER_OUT override the
+# artifact paths.
+FLEET_CACHE ?= fleet-cache
+FLEET_FRONTIER_OUT ?= fleet-frontier.json
+fleet-smoke:
+	@set -e; \
+	rm -rf $(FLEET_CACHE) fleet-spec.json fleet-ref.jsonl fleet-merged.jsonl \
+		$(FLEET_FRONTIER_OUT) fleet-w1.log fleet-w2.log fleet-w3.log \
+		fleet-proxy.log fleet-ctl.log fleet-ctl.err \
+		bishopd.bin bishopctl.bin faultproxy.bin; \
+	$(GO) run ./cmd/dse -models 4 -bsa false,true -shapes 4x2,2x2,1x2,4x4 -ecp 0,2,4,6,8,10 -print-spec > fleet-spec.json; \
+	$(GO) run ./cmd/dse -spec fleet-spec.json -checkpoint fleet-ref.jsonl > /dev/null; \
+	$(GO) build -o bishopd.bin ./cmd/bishopd; \
+	$(GO) build -o bishopctl.bin ./cmd/bishopctl; \
+	$(GO) build -o faultproxy.bin ./cmd/faultproxy; \
+	pids=""; \
+	trap 'kill $$pids 2>/dev/null || true' EXIT; \
+	./bishopd.bin -addr 127.0.0.1:0 -cache-dir $(FLEET_CACHE) > fleet-w1.log 2>&1 & \
+	w1=$$!; pids="$$pids $$w1"; \
+	./bishopd.bin -addr 127.0.0.1:0 -cache-dir $(FLEET_CACHE) > fleet-w2.log 2>&1 & \
+	pids="$$pids $$!"; \
+	./bishopd.bin -addr 127.0.0.1:0 -cache-dir $(FLEET_CACHE) > fleet-w3.log 2>&1 & \
+	pids="$$pids $$!"; \
+	for i in $$(seq 1 100); do \
+		grep -q 'listening on' fleet-w1.log 2>/dev/null && \
+		grep -q 'listening on' fleet-w2.log 2>/dev/null && \
+		grep -q 'listening on' fleet-w3.log 2>/dev/null && break; sleep 0.1; \
+	done; \
+	a1=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' fleet-w1.log); \
+	a2=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' fleet-w2.log); \
+	a3=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' fleet-w3.log); \
+	[ -n "$$a1" ] && [ -n "$$a2" ] && [ -n "$$a3" ] || \
+		{ echo "fleet-smoke: workers did not start" >&2; cat fleet-w*.log >&2; exit 1; }; \
+	./faultproxy.bin -seed 7 -drop 0.08 -error 0.08 -truncate 0.08 -truncate-bytes 300 \
+		-route 127.0.0.1:0=http://$$a2 -route 127.0.0.1:0=http://$$a3 > fleet-proxy.log 2>&1 & \
+	pids="$$pids $$!"; \
+	for i in $$(seq 1 100); do \
+		[ "$$(grep -c ' -> ' fleet-proxy.log 2>/dev/null)" = "2" ] && break; sleep 0.1; \
+	done; \
+	p2=$$(sed -n 's,^faultproxy: \([^ ]*\) -> http://'$$a2'.*,\1,p' fleet-proxy.log); \
+	p3=$$(sed -n 's,^faultproxy: \([^ ]*\) -> http://'$$a3'.*,\1,p' fleet-proxy.log); \
+	[ -n "$$p2" ] && [ -n "$$p3" ] || \
+		{ echo "fleet-smoke: fault proxy did not start" >&2; cat fleet-proxy.log >&2; exit 1; }; \
+	./bishopctl.bin run -spec fleet-spec.json -workers $$a1,$$p2,$$p3 \
+		-checkpoint fleet-merged.jsonl -lease-ttl 5s -frontier $(FLEET_FRONTIER_OUT) \
+		> fleet-ctl.log 2> fleet-ctl.err & \
+	cpid=$$!; pids="$$pids $$cpid"; \
+	for i in $$(seq 1 400); do [ -s fleet-merged.jsonl ] && break; sleep 0.05; done; \
+	[ -s fleet-merged.jsonl ] || \
+		{ echo "fleet-smoke: no record merged within 20s" >&2; cat fleet-ctl.err >&2; exit 1; }; \
+	kill -9 $$w1; \
+	wait $$cpid && rc=0 || rc=$$?; \
+	[ "$$rc" = "0" ] || \
+		{ echo "fleet-smoke: coordinator failed ($$rc)" >&2; cat fleet-ctl.err >&2; exit 1; }; \
+	grep -Eq 'released|re-leasing' fleet-ctl.err || \
+		{ echo "fleet-smoke: SIGKILLed worker's shard was never released" >&2; cat fleet-ctl.err >&2; exit 1; }; \
+	cmp -s fleet-merged.jsonl fleet-ref.jsonl || \
+		{ echo "fleet-smoke: merged checkpoint differs from unsharded cmd/dse run" >&2; exit 1; }; \
+	grep -q '"digest"' $(FLEET_FRONTIER_OUT) || \
+		{ echo "fleet-smoke: empty frontier in $(FLEET_FRONTIER_OUT)" >&2; exit 1; }; \
+	cat fleet-ctl.log; \
+	rm -f bishopd.bin bishopctl.bin faultproxy.bin; \
+	echo "fleet-smoke: merged checkpoint byte-identical to unsharded sweep after worker SIGKILL behind faults"
+
 fmt:
 	gofmt -w .
 
@@ -148,4 +218,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race bench dse-smoke backend-smoke trace-smoke serve-smoke
+ci: build fmt-check vet race bench dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke

@@ -1,0 +1,119 @@
+// Command bishopctl drives a fleet of bishopd workers from the command
+// line. Its one verb, run, executes a saved sweep spec across remote
+// workers through the internal/fleet coordinator: the point set is sharded,
+// shards are leased to workers under TTL heartbeats, worker faults (dead
+// hosts, dropped or truncated streams, stalled connections, full queues)
+// are retried, re-leased, or absorbed by per-worker circuit breakers, and
+// every record streams into one durable JSONL checkpoint. The checkpoint is
+// resumable — re-running the same command after a coordinator crash picks
+// up where it stopped without re-evaluating completed points — and on
+// success holds the enumeration-ordered record set, byte-identical to
+// `dse -spec spec.json -checkpoint out.jsonl` run on one machine.
+//
+// Usage:
+//
+//	bishopctl run -spec sweep.json -workers host1:8372,host2:8372 -checkpoint out.jsonl
+//	bishopctl run -spec sweep.json -workers host1:8372,host2:8372 -checkpoint out.jsonl \
+//	    -shards 8 -lease-ttl 1m -frontier frontier.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/fleet"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] != "run" {
+		fmt.Fprintln(os.Stderr, "usage: bishopctl run -spec sweep.json -workers host1,host2,... -checkpoint out.jsonl")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("bishopctl run", flag.ExitOnError)
+	specPath := fs.String("spec", "", "saved sweep spec (JSON, as written by dse -print-spec)")
+	workers := fs.String("workers", "", "comma-separated bishopd workers (host:port or http:// URLs)")
+	checkpoint := fs.String("checkpoint", "", "durable merged JSONL checkpoint (resumable)")
+	shards := fs.Int("shards", 0, "shard count (0 = one per worker)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "silence budget per leased shard before it is re-leased")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout against workers")
+	frontier := fs.String("frontier", "", "write the merged Pareto frontier JSON to this path")
+	quiet := fs.Bool("q", false, "suppress progress lines")
+	fs.Parse(os.Args[2:])
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bishopctl:", err)
+		os.Exit(1)
+	}
+	if *specPath == "" || *workers == "" || *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "bishopctl run: -spec, -workers, and -checkpoint are required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fail(err)
+	}
+	spec, err := dse.DecodeSpec(data)
+	if err != nil {
+		fail(err)
+	}
+
+	var list []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			list = append(list, w)
+		}
+	}
+	cfg := fleet.Config{
+		Workers:    list,
+		Shards:     *shards,
+		Checkpoint: *checkpoint,
+		LeaseTTL:   *leaseTTL,
+		Worker:     fleet.WorkerConfig{RequestTimeout: *timeout, Seed: spec.Normalized().Seed},
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+		done := 0
+		cfg.OnRecord = func(dse.Record) {
+			done++
+			fmt.Fprintf(os.Stderr, "\rbishopctl: %d records merged", done)
+		}
+	}
+
+	// SIGINT/SIGTERM abort the coordinator; the checkpoint keeps every
+	// merged record, so the identical command resumes the sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := fleet.Run(ctx, spec, cfg)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("bishopctl: %d records (%d resumed, %d fresh) across %d workers, %d re-leases\n",
+		len(res.Records), res.Resumed, res.Fresh, len(list), res.ReLeases)
+	for _, name := range res.WorkerNames() {
+		fmt.Printf("bishopctl:   %-40s %d records\n", name, res.WorkerRecords[name])
+	}
+	if *frontier != "" {
+		front := dse.Frontier(res.Records)
+		data, err := dse.EncodeFrontier(front, len(res.Records))
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*frontier, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("bishopctl: frontier (%d points) written to %s\n", len(front), *frontier)
+	}
+}

@@ -5,13 +5,13 @@
 // runner — and get back digest-keyed jobs whose records stream as NDJSON in
 // the checkpoint line format.
 //
-//	POST /v1/sweeps               submit a spec (strict JSON) → job id; 429 + Retry-After when the queue is full
+//	POST /v1/sweeps               submit a spec (strict JSON) → job id; 429 + backlog-derived Retry-After when the queue is full
 //	GET  /v1/sweeps/{id}          job status
-//	GET  /v1/sweeps/{id}/records  live NDJSON record stream; last client leaving cancels the sweep
+//	GET  /v1/sweeps/{id}/records  live NDJSON record stream; ?from=N resumes at offset N; last client leaving cancels the sweep
 //	GET  /v1/sweeps/{id}/frontier live latency/energy Pareto frontier
 //	GET  /v1/backends             registered backends with option schemas
 //	POST /v1/evaluate             evaluate one point on a named backend
-//	GET  /healthz                 liveness
+//	GET  /healthz                 liveness; 503 "draining" once drain begins
 //
 // Production posture: a bounded job queue with admission control, per-job
 // contexts threaded into sweep cancellation, graceful drain on SIGTERM /
@@ -81,13 +81,20 @@ func main() {
 	}
 
 	fmt.Printf("bishopd: draining (up to %s)\n", *drain)
+	// Drain order matters: flip /healthz to 503 "draining" first (so fleet
+	// coordinators and load balancers stop routing new shards here), then
+	// drain the job manager (running sweeps finish inside the budget, which
+	// ends their record streams), and only then shut the HTTP server down —
+	// Shutdown waits for active connections, and the streams cannot end
+	// until their jobs do.
+	mgr.BeginDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "bishopd: shutdown:", err)
-	}
 	if err := mgr.Close(shutCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "bishopd: drain:", err)
+	}
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "bishopd: shutdown:", err)
 	}
 	fmt.Println("bishopd: drained")
 }

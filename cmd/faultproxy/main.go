@@ -1,0 +1,96 @@
+// Command faultproxy runs one or more fault-injecting HTTP forwarders
+// (internal/fleet/faultproxy) so distributed-sweep smoke tests can place a
+// deliberately unreliable network between a fleet coordinator and its
+// bishopd workers. Each -route listen=target pair gets its own listener and
+// its own seeded fault schedule (seed + route index), so a given command
+// line replays the identical fault pattern.
+//
+// Usage:
+//
+//	faultproxy -seed 7 -drop 0.1 -error 0.1 -truncate 0.1 \
+//	    -route 127.0.0.1:9481=http://127.0.0.1:9471 \
+//	    -route 127.0.0.1:9482=http://127.0.0.1:9472
+//
+// /healthz is exempt from faults by default, mirroring the test harness.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet/faultproxy"
+)
+
+// routeList collects repeatable -route listen=target flags.
+type routeList []struct{ listen, target string }
+
+func (r *routeList) String() string { return fmt.Sprint(*r) }
+
+func (r *routeList) Set(v string) error {
+	listen, target, ok := strings.Cut(v, "=")
+	if !ok || listen == "" || target == "" {
+		return fmt.Errorf("route %q is not listen=target", v)
+	}
+	*r = append(*r, struct{ listen, target string }{listen, target})
+	return nil
+}
+
+func main() {
+	var routes routeList
+	flag.Var(&routes, "route", "listen=target pair (repeatable), e.g. 127.0.0.1:9481=http://127.0.0.1:9471")
+	seed := flag.Uint64("seed", 1, "fault-schedule seed (route i uses seed+i)")
+	drop := flag.Float64("drop", 0, "probability of dropping a connection before forwarding")
+	delay := flag.Float64("delay", 0, "probability of delaying a request")
+	errRate := flag.Float64("error", 0, "probability of answering 500 without forwarding")
+	truncate := flag.Float64("truncate", 0, "probability of truncating the response mid-stream")
+	stall := flag.Float64("stall", 0, "probability of holding the connection silently")
+	truncBytes := flag.Int("truncate-bytes", 256, "body bytes let through before a truncation abort")
+	delayFor := flag.Duration("delay-for", 50*time.Millisecond, "added latency of a delay fault")
+	stallFor := flag.Duration("stall-for", 30*time.Second, "silent hold of a stall fault")
+	flag.Parse()
+
+	if len(routes) == 0 {
+		fmt.Fprintln(os.Stderr, "faultproxy: at least one -route listen=target is required")
+		os.Exit(2)
+	}
+	var servers []*http.Server
+	for i, rt := range routes {
+		p := faultproxy.New(faultproxy.Config{
+			Target:        rt.target,
+			Seed:          *seed + uint64(i),
+			DropRate:      *drop,
+			DelayRate:     *delay,
+			ErrorRate:     *errRate,
+			TruncateRate:  *truncate,
+			StallRate:     *stall,
+			TruncateBytes: *truncBytes,
+			Delay:         *delayFor,
+			StallFor:      *stallFor,
+		})
+		ln, err := net.Listen("tcp", rt.listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultproxy:", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: p}
+		servers = append(servers, srv)
+		fmt.Printf("faultproxy: %s -> %s (seed %d)\n", ln.Addr(), rt.target, *seed+uint64(i))
+		go srv.Serve(ln)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	for _, srv := range servers {
+		srv.Close()
+	}
+	fmt.Println("faultproxy: stopped")
+}

@@ -6,8 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-
-	"repro/internal/hw"
 )
 
 // checkpoint is an append-only JSONL record store: one Record per line.
@@ -50,18 +48,9 @@ func parseRecords(data []byte) []Record {
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+		if r, ok := ParseRecordLine(sc.Bytes()); ok {
+			recs = append(recs, r)
 		}
-		var r Record
-		if err := hw.DecodeStrict(line, &r); err != nil {
-			continue
-		}
-		if !r.valid() {
-			continue
-		}
-		recs = append(recs, r)
 	}
 	return recs
 }
@@ -77,7 +66,12 @@ func (c *checkpoint) Append(rec Record) error {
 	if err != nil {
 		return fmt.Errorf("dse: marshal record: %w", err)
 	}
-	if _, err := c.f.Write(append(data, '\n')); err != nil {
+	return c.appendLine(data)
+}
+
+// appendLine writes one pre-encoded record line plus newline and syncs.
+func (c *checkpoint) appendLine(line []byte) error {
+	if _, err := c.f.Write(append(append([]byte{}, line...), '\n')); err != nil {
 		return fmt.Errorf("dse: append checkpoint: %w", err)
 	}
 	return c.f.Sync()

@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen fails a call fast because the worker's circuit breaker is
+// open: the host has failed consecutively past the threshold and its
+// cooldown has not elapsed, so attempts against it would only burn time the
+// rest of the fleet could use.
+var ErrBreakerOpen = errors.New("fleet: circuit breaker open")
+
+// BreakerConfig sizes a per-worker circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (default 3).
+	Threshold int
+	// Cooldown is how long an open breaker rejects calls before letting a
+	// single half-open probe through (default 2s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+// breaker is a classic three-state circuit breaker: closed (calls flow,
+// consecutive failures counted), open (calls rejected until the cooldown
+// elapses), half-open (exactly one probe in flight; its outcome closes or
+// re-opens the circuit).
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for tests
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+	probing     bool // a half-open probe is in flight
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// allow reports whether a call may proceed. In the open state it rejects
+// with ErrBreakerOpen until the cooldown elapses, then admits exactly one
+// probe; concurrent callers during the probe stay rejected.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return nil
+	}
+	if b.now().Before(b.openUntil) || b.probing {
+		return ErrBreakerOpen
+	}
+	b.probing = true
+	return nil
+}
+
+// success closes the circuit.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+}
+
+// failure counts one failed call, opening the circuit at the threshold (and
+// re-opening it immediately when a half-open probe fails).
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.probing || b.consecutive >= b.cfg.Threshold {
+		b.openUntil = b.now().Add(b.cfg.Cooldown)
+		b.probing = false
+	}
+}
+
+// open reports whether the breaker currently rejects calls.
+func (b *breaker) open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.openUntil.IsZero() && (b.now().Before(b.openUntil) || b.probing)
+}

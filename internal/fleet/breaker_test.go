@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-cranked clock for deterministic breaker/lease tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestBreakerLifecycle pins the three-state machine: closed counts
+// consecutive failures, opens at the threshold, rejects through the
+// cooldown, admits exactly one half-open probe, and the probe's outcome
+// closes or re-opens the circuit.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: 10 * time.Second}, clk.now)
+
+	// Closed: calls flow; sub-threshold failures keep it closed, and a
+	// success resets the streak.
+	for i := 0; i < 2; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d: %v", i, err)
+		}
+		b.failure()
+	}
+	b.success()
+	b.failure()
+	b.failure()
+	if b.open() {
+		t.Fatal("breaker opened below threshold after a success reset")
+	}
+
+	// Third consecutive failure opens it.
+	b.failure()
+	if !b.open() {
+		t.Fatal("breaker not open at threshold")
+	}
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+
+	// Cooldown elapses: exactly one probe is admitted; concurrent callers
+	// stay rejected while it is in flight.
+	clk.advance(10 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second caller admitted during probe: %v", err)
+	}
+
+	// A failed probe re-opens immediately for another full cooldown.
+	b.failure()
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("breaker not re-opened by failed probe: %v", err)
+	}
+	clk.advance(10 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+
+	// A successful probe closes the circuit for everyone.
+	b.success()
+	if b.open() {
+		t.Fatal("breaker open after successful probe")
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("closed breaker rejected call: %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dse"
+)
+
+func clientTestSpec() dse.SweepSpec {
+	return dse.SweepSpec{Space: dse.Space{Models: []int{4}, ECPThetas: []int{0, 10}}}
+}
+
+// fastRetry keeps unit tests snappy.
+func fastRetry() WorkerConfig {
+	return WorkerConfig{
+		RequestTimeout: 2 * time.Second,
+		Retry:          RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+	}
+}
+
+// TestWorkerRetriesTransient5xx pins the retry loop: 5xx answers are
+// transient, retried with backoff, and a later success lands.
+func TestWorkerRetriesTransient5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, `{"id":"deadbeef","state":"queued"}`)
+	}))
+	defer ts.Close()
+	w := NewWorker(ts.URL, fastRetry())
+	st, err := w.Submit(context.Background(), clientTestSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.ID != "deadbeef" || calls.Load() != 3 {
+		t.Fatalf("status %+v after %d calls, want id deadbeef after 3", st, calls.Load())
+	}
+}
+
+// TestWorker429HonorsRetryAfter pins the pacing contract: a 429's
+// Retry-After delays the retry (instead of the backoff schedule) and does
+// not count against the circuit breaker.
+func TestWorker429HonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "full", http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprintln(w, `{"id":"deadbeef","state":"queued"}`)
+	}))
+	defer ts.Close()
+	cfg := fastRetry()
+	cfg.Breaker = BreakerConfig{Threshold: 1, Cooldown: time.Hour} // any breaker failure would be fatal here
+	w := NewWorker(ts.URL, cfg)
+	start := time.Now()
+	if _, err := w.Submit(context.Background(), clientTestSpec()); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry after %v, want >= ~1s from Retry-After", elapsed)
+	}
+	if w.BreakerOpen() {
+		t.Fatal("429 tripped the circuit breaker")
+	}
+}
+
+// TestWorkerBreakerFailsFast pins the dead-host story: consecutive connect
+// failures open the breaker, the in-flight call stops burning its remaining
+// attempts, and subsequent calls fail immediately.
+func TestWorkerBreakerFailsFast(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing listens: every dial fails
+	cfg := fastRetry()
+	cfg.Retry.MaxAttempts = 6
+	cfg.Breaker = BreakerConfig{Threshold: 3, Cooldown: time.Hour}
+	w := NewWorker(ts.URL, cfg)
+	_, err := w.Submit(context.Background(), clientTestSpec())
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Submit against dead host: %v, want breaker open", err)
+	}
+	if !w.BreakerOpen() {
+		t.Fatal("breaker closed after consecutive dial failures")
+	}
+	start := time.Now()
+	if _, err := w.Status(context.Background(), "deadbeef"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Status through open breaker: %v", err)
+	}
+	if time.Since(start) > 200*time.Millisecond {
+		t.Fatal("open breaker did not fail fast")
+	}
+}
+
+// TestWorkerPermanent4xxNoRetry pins that deliberate rejections (bad
+// request, not found) are returned immediately — no retries, no breaker
+// damage.
+func TestWorkerPermanent4xxNoRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown sweep"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+	w := NewWorker(ts.URL, fastRetry())
+	_, err := w.Status(context.Background(), "nope")
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("Status: %v, want a 404 error", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d calls for a permanent 4xx, want 1", calls.Load())
+	}
+	if w.BreakerOpen() {
+		t.Fatal("4xx damaged the breaker")
+	}
+}
+
+// TestWorkerStreamFromOffset pins the resume parameter: the client asks for
+// ?from=N and delivers exactly the lines the server sends from there.
+func TestWorkerStreamFromOffset(t *testing.T) {
+	lines := []string{`{"a":1}`, `{"a":2}`, `{"a":3}`}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		from := 0
+		fmt.Sscanf(r.URL.Query().Get("from"), "%d", &from)
+		for _, l := range lines[from:] {
+			fmt.Fprintln(w, l)
+		}
+	}))
+	defer ts.Close()
+	w := NewWorker(ts.URL, fastRetry())
+	var got []string
+	n, err := w.Stream(context.Background(), "deadbeef", 1, func(line []byte) error {
+		got = append(got, string(line))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if n != 2 || len(got) != 2 || got[0] != lines[1] || got[1] != lines[2] {
+		t.Fatalf("Stream(from=1) = %d lines %v", n, got)
+	}
+}
+
+// TestWorkerStreamTruncationIsError pins torn-stream detection: a
+// connection aborted mid-line surfaces as an error with only the complete
+// lines delivered — the caller reconnects with the offset advanced by the
+// returned count and loses nothing.
+func TestWorkerStreamTruncationIsError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"a":1}`)
+		w.(http.Flusher).Flush()
+		fmt.Fprint(w, `{"a":2,"tor`) // no newline: torn mid-record
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler)
+	}))
+	defer ts.Close()
+	w := NewWorker(ts.URL, fastRetry())
+	var got []string
+	n, err := w.Stream(context.Background(), "deadbeef", 0, func(line []byte) error {
+		got = append(got, string(line))
+		return nil
+	})
+	if err == nil {
+		t.Fatal("torn stream reported clean EOF")
+	}
+	if n != 1 || len(got) != 1 || got[0] != `{"a":1}` {
+		t.Fatalf("delivered %d lines %v, want just the complete first", n, got)
+	}
+}

@@ -1,0 +1,278 @@
+// Package faultproxy is a deliberately unreliable HTTP forwarder: it sits
+// between a fleet coordinator and a bishopd worker and injects faults —
+// dropped connections, added latency, 500s, mid-stream truncation, silent
+// stalls — on a seeded pseudo-random schedule, so tests can prove the
+// orchestration stack recovers bit-identically from the exact failure modes
+// real networks produce, deterministically.
+package faultproxy
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault is one injected failure mode.
+type Fault int
+
+const (
+	// FaultNone forwards the request untouched.
+	FaultNone Fault = iota
+	// FaultDrop aborts the connection before the upstream sees the request.
+	FaultDrop
+	// FaultDelay sleeps Config.Delay, then forwards normally.
+	FaultDelay
+	// FaultError answers 500 without contacting the upstream.
+	FaultError
+	// FaultTruncate forwards the response but aborts the connection after
+	// Config.TruncateBytes body bytes — a torn stream, possibly mid-line.
+	FaultTruncate
+	// FaultStall holds the connection open without sending a byte for
+	// Config.StallFor, then aborts — the silent-worker failure mode only a
+	// lease TTL can detect.
+	FaultStall
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultError:
+		return "error"
+	case FaultTruncate:
+		return "truncate"
+	case FaultStall:
+		return "stall"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Config is the fault schedule. The per-fault rates are probabilities in
+// [0,1] drawn once per eligible request from a PRNG seeded with Seed, so a
+// given (seed, request sequence) replays the identical fault pattern.
+type Config struct {
+	// Target is the upstream base URL (e.g. "http://127.0.0.1:9421").
+	Target string
+	// Seed seeds the schedule (0 → 1).
+	Seed uint64
+
+	// DropRate, DelayRate, ErrorRate, TruncateRate, StallRate are sampled
+	// in that order; the first hit wins. Their sum must be <= 1.
+	DropRate, DelayRate, ErrorRate, TruncateRate, StallRate float64
+
+	// Delay is the added latency of FaultDelay (default 50ms).
+	Delay time.Duration
+	// TruncateBytes is how much of the response body FaultTruncate lets
+	// through (default 256).
+	TruncateBytes int
+	// StallFor is how long FaultStall holds the silent connection
+	// (default 30s — longer than any sane lease TTL in a test).
+	StallFor time.Duration
+
+	// Exempt lists path prefixes never faulted (default ["/healthz"]: a
+	// flaky network must not make a live worker look down to health probes
+	// in tests that pin health semantics).
+	Exempt []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Delay <= 0 {
+		c.Delay = 50 * time.Millisecond
+	}
+	if c.TruncateBytes <= 0 {
+		c.TruncateBytes = 256
+	}
+	if c.StallFor <= 0 {
+		c.StallFor = 30 * time.Second
+	}
+	if c.Exempt == nil {
+		c.Exempt = []string{"/healthz"}
+	}
+	return c
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Requests int
+	Faults   map[Fault]int
+}
+
+// Proxy forwards requests to Config.Target, injecting faults per schedule.
+type Proxy struct {
+	cfg Config
+	hc  *http.Client
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New builds a proxy for cfg.
+func New(cfg Config) *Proxy {
+	cfg = cfg.withDefaults()
+	return &Proxy{
+		cfg: cfg,
+		hc:  &http.Client{},
+		rng: rand.New(rand.NewSource(int64(cfg.Seed))),
+	}
+}
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Stats{Requests: p.stats.Requests, Faults: map[Fault]int{}}
+	for k, v := range p.stats.Faults {
+		s.Faults[k] = v
+	}
+	return s
+}
+
+// pick draws the next fault from the seeded schedule.
+func (p *Proxy) pick(exempt bool) Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Requests++
+	if exempt {
+		return FaultNone
+	}
+	// Always consume exactly one draw per request so the schedule stays a
+	// pure function of the request sequence number.
+	u := p.rng.Float64()
+	f := FaultNone
+	acc := 0.0
+	for _, c := range []struct {
+		rate  float64
+		fault Fault
+	}{
+		{p.cfg.DropRate, FaultDrop},
+		{p.cfg.DelayRate, FaultDelay},
+		{p.cfg.ErrorRate, FaultError},
+		{p.cfg.TruncateRate, FaultTruncate},
+		{p.cfg.StallRate, FaultStall},
+	} {
+		acc += c.rate
+		if u < acc {
+			f = c.fault
+			break
+		}
+	}
+	if p.stats.Faults == nil {
+		p.stats.Faults = map[Fault]int{}
+	}
+	p.stats.Faults[f]++
+	return f
+}
+
+func (p *Proxy) exempt(path string) bool {
+	for _, pre := range p.cfg.Exempt {
+		if strings.HasPrefix(path, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+// ServeHTTP applies the schedule, then forwards.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fault := p.pick(p.exempt(r.URL.Path))
+	switch fault {
+	case FaultDrop:
+		panic(http.ErrAbortHandler)
+	case FaultError:
+		http.Error(w, "faultproxy: injected upstream error", http.StatusInternalServerError)
+		return
+	case FaultStall:
+		select {
+		case <-r.Context().Done():
+		case <-time.After(p.cfg.StallFor):
+		}
+		panic(http.ErrAbortHandler)
+	case FaultDelay:
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(p.cfg.Delay):
+		}
+	}
+
+	limit := -1 // unlimited
+	if fault == FaultTruncate {
+		limit = p.cfg.TruncateBytes
+	}
+	p.forward(w, r, limit)
+	if fault == FaultTruncate {
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// forward relays the request upstream and streams the response back,
+// flushing per chunk so NDJSON streams flow live. limit >= 0 caps the body
+// bytes relayed (the truncation fault).
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, limit int) {
+	url := strings.TrimSuffix(p.cfg.Target, "/") + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	written := 0
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if limit >= 0 && written+len(chunk) > limit {
+				chunk = chunk[:limit-written]
+			}
+			if len(chunk) > 0 {
+				if _, werr := w.Write(chunk); werr != nil {
+					return
+				}
+				written += len(chunk)
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			if limit >= 0 && written >= limit {
+				return
+			}
+		}
+		if rerr == io.EOF {
+			return
+		}
+		if rerr != nil {
+			// Upstream died mid-body: abort our side too so the client sees
+			// the same torn stream it would without the proxy.
+			panic(http.ErrAbortHandler)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// shardState is where a shard sits in the lease lifecycle.
+type shardState int
+
+const (
+	shardPending shardState = iota
+	shardLeased
+	shardDone
+)
+
+// lease is one live claim on a shard. The holder refreshes deadline with
+// every record it streams; a deadline in the past means the holder went
+// silent (stalled worker, dead network) and the shard goes back to pending —
+// the holder's context is canceled so a zombie stream cannot keep writing.
+type lease struct {
+	worker     string
+	generation int // increments per grant; stale heartbeats/releases no-op
+	deadline   time.Time
+	cancel     func()
+}
+
+// leaseTable hands out shards to workers under TTL leases. It is the
+// coordinator's single source of truth for "who owns what": acquire blocks
+// until a shard is free (or everything is done), heartbeats push deadlines
+// out, and expireStalled reaps leases whose holders went quiet.
+type leaseTable struct {
+	ttl time.Duration
+	now func() time.Time // injectable clock for tests
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	state  []shardState
+	leases []lease
+	last   []string // last worker to fail/expire the shard; deprioritized
+	closed bool
+}
+
+func newLeaseTable(shards int, ttl time.Duration, now func() time.Time) *leaseTable {
+	if now == nil {
+		now = time.Now
+	}
+	t := &leaseTable{
+		ttl:    ttl,
+		now:    now,
+		state:  make([]shardState, shards),
+		leases: make([]lease, shards),
+		last:   make([]string, shards),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// markDone pre-completes a shard (coordinator resume: the checkpoint already
+// covers it).
+func (t *leaseTable) markDone(shard int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.state[shard] = shardDone
+	t.cond.Broadcast()
+}
+
+// acquire blocks until a pending shard is available and leases it to worker,
+// returning the shard index, the lease generation, and a context-cancel hook
+// the table fires if the lease expires. ok=false means no work will ever be
+// available again (all shards done, or the table closed).
+//
+// When several shards are pending, one whose previous holder was a different
+// worker wins: a shard that just failed on this worker is better retried
+// elsewhere first.
+func (t *leaseTable) acquire(worker string, cancel func()) (shard, generation int, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if t.closed {
+			return 0, 0, false
+		}
+		pick, found := -1, false
+		done := 0
+		for i, st := range t.state {
+			switch st {
+			case shardDone:
+				done++
+			case shardPending:
+				if !found || (t.last[pick] == worker && t.last[i] != worker) {
+					pick, found = i, true
+				}
+			}
+		}
+		if done == len(t.state) {
+			return 0, 0, false
+		}
+		if found {
+			t.state[pick] = shardLeased
+			t.leases[pick].worker = worker
+			t.leases[pick].generation++
+			t.leases[pick].deadline = t.now().Add(t.ttl)
+			t.leases[pick].cancel = cancel
+			return pick, t.leases[pick].generation, true
+		}
+		t.cond.Wait()
+	}
+}
+
+// heartbeat refreshes the lease deadline; stale generations (the lease was
+// reaped and possibly re-granted) report false so the old holder stops.
+func (t *leaseTable) heartbeat(shard, generation int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state[shard] != shardLeased || t.leases[shard].generation != generation {
+		return false
+	}
+	t.leases[shard].deadline = t.now().Add(t.ttl)
+	return true
+}
+
+// done completes the shard if the caller still holds its lease.
+func (t *leaseTable) done(shard, generation int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state[shard] != shardLeased || t.leases[shard].generation != generation {
+		return
+	}
+	t.state[shard] = shardDone
+	t.leases[shard].cancel = nil
+	t.cond.Broadcast()
+}
+
+// release returns a failed shard to the pending pool (if the caller still
+// holds the lease), remembering the holder so re-leasing prefers a
+// different worker.
+func (t *leaseTable) release(shard, generation int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state[shard] != shardLeased || t.leases[shard].generation != generation {
+		return
+	}
+	t.state[shard] = shardPending
+	t.last[shard] = t.leases[shard].worker
+	t.leases[shard].cancel = nil
+	t.cond.Broadcast()
+}
+
+// expireStalled reaps every lease whose deadline has passed: the holder's
+// context is canceled, the shard goes back to pending, and the holder is
+// recorded as the shard's last (deprioritized) worker. Returns the reaped
+// shard indices.
+func (t *leaseTable) expireStalled() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	var reaped []int
+	for i, st := range t.state {
+		if st != shardLeased || !t.leases[i].deadline.Before(now) {
+			continue
+		}
+		if c := t.leases[i].cancel; c != nil {
+			c()
+			t.leases[i].cancel = nil
+		}
+		t.leases[i].generation++ // invalidate the zombie holder's handle
+		t.state[i] = shardPending
+		t.last[i] = t.leases[i].worker
+		reaped = append(reaped, i)
+	}
+	if len(reaped) > 0 {
+		t.cond.Broadcast()
+	}
+	return reaped
+}
+
+// close unblocks all acquirers; further acquires fail.
+func (t *leaseTable) close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	t.cond.Broadcast()
+}
+
+// remaining counts shards not yet done.
+func (t *leaseTable) remaining() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, st := range t.state {
+		if st != shardDone {
+			n++
+		}
+	}
+	return n
+}

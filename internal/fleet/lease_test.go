@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLeaseTableLifecycle pins the grant/heartbeat/done path and the
+// generation discipline that makes stale handles inert.
+func TestLeaseTableLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	tab := newLeaseTable(2, 10*time.Second, clk.now)
+
+	s0, g0, ok := tab.acquire("a", func() {})
+	if !ok {
+		t.Fatal("acquire failed on fresh table")
+	}
+	s1, g1, ok := tab.acquire("b", func() {})
+	if !ok || s1 == s0 {
+		t.Fatalf("second acquire: ok=%v shard=%d (first %d)", ok, s1, s0)
+	}
+	if !tab.heartbeat(s0, g0) {
+		t.Fatal("live lease heartbeat rejected")
+	}
+	if tab.heartbeat(s0, g0+1) {
+		t.Fatal("stale-generation heartbeat accepted")
+	}
+
+	tab.done(s0, g0)
+	tab.done(s1, g1)
+	if n := tab.remaining(); n != 0 {
+		t.Fatalf("%d shards remain after done", n)
+	}
+	if _, _, ok := tab.acquire("a", func() {}); ok {
+		t.Fatal("acquire succeeded with all shards done")
+	}
+}
+
+// TestLeaseExpiryReLeases pins the stall story: a lease whose holder stops
+// heartbeating past the TTL is reaped — its cancel hook fires, its handle
+// goes stale — and the shard is granted again, preferring a different
+// worker.
+func TestLeaseExpiryReLeases(t *testing.T) {
+	clk := newFakeClock()
+	tab := newLeaseTable(1, 10*time.Second, clk.now)
+
+	canceled := false
+	s0, g0, ok := tab.acquire("a", func() { canceled = true })
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+
+	// Heartbeats inside the TTL keep the lease alive.
+	clk.advance(6 * time.Second)
+	if !tab.heartbeat(s0, g0) {
+		t.Fatal("heartbeat inside TTL rejected")
+	}
+	if reaped := tab.expireStalled(); len(reaped) != 0 {
+		t.Fatalf("live lease reaped: %v", reaped)
+	}
+
+	// Silence past the deadline: the reaper takes the shard back.
+	clk.advance(11 * time.Second)
+	if reaped := tab.expireStalled(); len(reaped) != 1 || reaped[0] != s0 {
+		t.Fatalf("expireStalled = %v, want [%d]", reaped, s0)
+	}
+	if !canceled {
+		t.Fatal("reaped lease did not cancel its holder")
+	}
+	// The zombie's handle is dead: heartbeat, done, and release all no-op.
+	if tab.heartbeat(s0, g0) {
+		t.Fatal("zombie heartbeat accepted")
+	}
+	tab.done(s0, g0)
+	if n := tab.remaining(); n != 1 {
+		t.Fatal("zombie done() completed the shard")
+	}
+
+	// Re-grant: worker b wins the shard and completes it for real.
+	s, g, ok := tab.acquire("b", func() {})
+	if !ok || s != s0 {
+		t.Fatalf("re-acquire: ok=%v shard=%d", ok, s)
+	}
+	tab.done(s, g)
+	if n := tab.remaining(); n != 0 {
+		t.Fatalf("%d shards remain", n)
+	}
+}
+
+// TestLeasePrefersOtherWorker pins the re-lease placement policy: among
+// pending shards, a worker is steered away from the shard it just failed.
+func TestLeasePrefersOtherWorker(t *testing.T) {
+	clk := newFakeClock()
+	tab := newLeaseTable(2, 10*time.Second, clk.now)
+
+	// Worker a takes shard 0 and fails it; both shards are pending again
+	// with last[0] = "a".
+	s0, g0, _ := tab.acquire("a", func() {})
+	tab.release(s0, g0)
+
+	// a's next acquire should get the *other* shard; the failed one waits
+	// for someone else.
+	s, g, ok := tab.acquire("a", func() {})
+	if !ok || s == s0 {
+		t.Fatalf("worker re-acquired the shard it just failed (shard %d)", s)
+	}
+	tab.done(s, g)
+	sb, gb, ok := tab.acquire("b", func() {})
+	if !ok || sb != s0 {
+		t.Fatalf("worker b got shard %d, want the released %d", sb, s0)
+	}
+	tab.done(sb, gb)
+}
+
+// TestLeaseCloseUnblocks pins shutdown: close releases blocked acquirers
+// with ok=false.
+func TestLeaseCloseUnblocks(t *testing.T) {
+	clk := newFakeClock()
+	tab := newLeaseTable(1, 10*time.Second, clk.now)
+	if _, _, ok := tab.acquire("a", func() {}); !ok {
+		t.Fatal("acquire failed")
+	}
+	got := make(chan bool)
+	go func() {
+		_, _, ok := tab.acquire("b", func() {})
+		got <- ok
+	}()
+	tab.close()
+	if ok := <-got; ok {
+		t.Fatal("blocked acquire returned ok after close")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/dse"
 )
@@ -42,7 +43,12 @@ type JobStatus struct {
 	Records   int      `json:"records"`    // records known so far
 	Evaluated int      `json:"evaluated"`  // points simulated fresh by this job
 	CacheHits int      `json:"cache_hits"` // points adopted from the result cache
-	Error     string   `json:"error,omitempty"`
+	// Runs counts how many times this spec has entered the run queue: 1 for
+	// a first submission, +1 for every revival of a failed or canceled job. A
+	// client holding a record-log offset uses a run change (equivalently, a
+	// Records count below its offset) as the signal to restart from zero.
+	Runs  int    `json:"runs"`
+	Error string `json:"error,omitempty"`
 }
 
 // Job is one submitted sweep: a spec, its digest-derived identity, and the
@@ -53,6 +59,7 @@ type Job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+	runs   int // 1 for a first submission, +1 per revival; immutable after Submit
 
 	mu        sync.Mutex
 	state     JobState
@@ -111,7 +118,7 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{ID: j.ID, State: j.state, Points: j.points,
-		Records: len(j.recs), Evaluated: j.evaluated, CacheHits: j.cacheHits}
+		Records: len(j.recs), Evaluated: j.evaluated, CacheHits: j.cacheHits, Runs: j.runs}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
@@ -205,9 +212,14 @@ type Manager struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	closed   bool
+	draining bool
+	// Completed-run statistics behind the Retry-After estimate: how many
+	// sweeps finished cleanly and how long they ran in total.
+	completedRuns int
+	completedDur  time.Duration
 }
 
 // NewManager starts a manager with cfg.Workers executor goroutines.
@@ -252,15 +264,26 @@ func (m *Manager) Submit(spec dse.SweepSpec) (j *Job, created bool, err error) {
 	id := spec.ID()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed || m.draining {
 		return nil, false, ErrClosed
 	}
-	if j, ok := m.jobs[id]; ok {
-		return j, false, nil
+	runs := 1
+	if old, ok := m.jobs[id]; ok {
+		// A queued, running, or successfully finished job answers the
+		// resubmission as-is. A job that failed or was canceled is *revived*:
+		// the spec re-enters the queue as a fresh run under the same id —
+		// every record the dead run produced is already durable in the
+		// checkpoint and the result cache, so the revival resumes instead of
+		// redoing work. This is what lets a fleet coordinator recover a shard
+		// whose stream it dropped (the disconnect canceled the worker job).
+		if st := old.Status().State; st != StateFailed && st != StateCanceled {
+			return old, false, nil
+		}
+		runs = old.runs + 1
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j = &Job{
-		ID: id, Spec: spec, ctx: ctx, cancel: cancel,
+		ID: id, Spec: spec, ctx: ctx, cancel: cancel, runs: runs,
 		state: StateQueued, points: len(spec.Points()),
 		seen: map[string]bool{}, changed: make(chan struct{}),
 	}
@@ -292,8 +315,71 @@ func (m *Manager) runJob(j *Job) {
 	if run == nil {
 		run = Run
 	}
+	start := time.Now()
 	res, err := run(j.ctx, j.Spec, RunOptions{Cache: m.cfg.Cache, OnRecord: j.addRecord})
+	if err == nil {
+		m.noteCompleted(time.Since(start))
+	}
 	j.finish(res, err)
+}
+
+// noteCompleted folds one cleanly finished run into the duration statistics.
+func (m *Manager) noteCompleted(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completedRuns++
+	m.completedDur += d
+}
+
+// maxRetryAfter caps the pacing hint: past it a client should treat the
+// server as saturated rather than sleep for hours.
+const maxRetryAfter = 5 * time.Minute
+
+// RetryAfter estimates how long a rejected submitter should back off before
+// the queue plausibly has room: the queued-job backlog times the mean
+// completed-sweep duration, floored at one second. A daemon that has not
+// finished a sweep yet answers the floor.
+func (m *Manager) RetryAfter() time.Duration {
+	m.mu.Lock()
+	runs, total := m.completedRuns, m.completedDur
+	m.mu.Unlock()
+	mean := time.Duration(0)
+	if runs > 0 {
+		mean = total / time.Duration(runs)
+	}
+	return estimateRetryAfter(len(m.queue), mean)
+}
+
+// estimateRetryAfter is the pure pacing formula: (queued jobs + the one
+// occupying the worker) × mean sweep duration, floored at 1s, capped at
+// maxRetryAfter.
+func estimateRetryAfter(queued int, mean time.Duration) time.Duration {
+	est := time.Duration(queued+1) * mean
+	if est < time.Second {
+		return time.Second
+	}
+	if est > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return est
+}
+
+// BeginDrain flips the manager into drain mode: new submissions are rejected
+// with ErrClosed while already-admitted jobs keep running. Idempotent, and
+// implied by Close; bishopd calls it the moment SIGTERM arrives so /healthz
+// flips to 503 "draining" before the job queue unwinds — coordinators and
+// load balancers stop routing new shards to a departing worker.
+func (m *Manager) BeginDrain() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.draining = true
+}
+
+// Draining reports whether the manager has begun (or finished) draining.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining || m.closed
 }
 
 // Close drains the manager: no new submissions are admitted, jobs already

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 
 	"repro/internal/backend"
 	"repro/internal/dse"
@@ -18,13 +20,13 @@ const maxBodyBytes = 1 << 20
 
 // Server mounts the sweep-serving API over a job manager. Endpoints:
 //
-//	POST /v1/sweeps               submit a dse.SweepSpec → job status (202 new, 200 existing, 429 full)
+//	POST /v1/sweeps               submit a dse.SweepSpec → job status (202 new or revived, 200 existing, 429 full with a backlog-derived Retry-After)
 //	GET  /v1/sweeps/{id}          job status
-//	GET  /v1/sweeps/{id}/records  NDJSON record stream (checkpoint line format), live until the job ends
+//	GET  /v1/sweeps/{id}/records  NDJSON record stream (checkpoint line format), live until the job ends; ?from=N resumes at offset N
 //	GET  /v1/sweeps/{id}/frontier live latency/energy Pareto frontier (dse.FrontierJSON)
 //	GET  /v1/backends             registered backends with option schemas
 //	POST /v1/evaluate             evaluate one point on a named backend → record
-//	GET  /healthz                 liveness
+//	GET  /healthz                 liveness; 503 "draining" once drain has begun
 //
 // The API is for trusted clients (it accepts filesystem attachments like
 // checkpoint paths); bind it accordingly.
@@ -39,6 +41,14 @@ func NewServer(m *Manager) *Server { return &Server{mgr: m} }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// A draining daemon is alive but must stop receiving work: 503 with
+		// the literal body "draining" tells coordinators and load balancers
+		// to route new shards elsewhere while running jobs finish.
+		if s.mgr.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /v1/backends", s.backends)
@@ -84,7 +94,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	job, created, err := s.mgr.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Pace backoff clients by the actual backlog: queue depth × mean
+		// completed-sweep duration (floor 1s), not a hardcoded constant.
+		secs := int(math.Ceil(s.mgr.RetryAfter().Seconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrClosed):
@@ -118,12 +131,24 @@ func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 // records streams the job's record log as NDJSON — each line is exactly the
 // bytes a checkpoint Append would write, so the stream *is* the checkpoint
 // wire format — following the job live until it reaches a terminal state.
+// ?from=N resumes the stream at record-log offset N, so a reconnecting
+// client (the fleet worker client after a network fault) skips the records
+// it already holds instead of replaying the log from zero.
 // A client that disconnects mid-stream releases its watch; the last watcher
 // leaving a running job cancels its sweep (see Job.dropWatcher).
 func (s *Server) records(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
 		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad from offset %q", q))
+			return
+		}
+		from = n
 	}
 	j.addWatcher()
 	disconnected := false
@@ -137,7 +162,7 @@ func (s *Server) records(w http.ResponseWriter, r *http.Request) {
 		// response open even while the first record is still simulating.
 		flusher.Flush()
 	}
-	next := 0
+	next := from
 	for {
 		recs, state, changed := j.snapshotFrom(next)
 		for _, rec := range recs {
