@@ -2,7 +2,13 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke fmt fmt-check vet ci
+# Every smoke target works inside its own scratch directory under SMOKE_DIR
+# and removes that scratch on success, so a green run leaves nothing behind
+# but the declared artifacts (the *_OUT paths, which CI overrides to
+# uploadable locations and local runs find under $(SMOKE_DIR)).
+SMOKE_DIR ?= .smoke
+
+.PHONY: build test race bench bench-json dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke search-smoke smoke-clean fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -32,8 +38,9 @@ bench-json:
 # Tiny end-to-end DSE sweep (2 shapes x 2 ECP settings) through cmd/dse:
 # exercises sweep -> checkpoint -> frontier and fails if the frontier JSON
 # comes back empty. FRONTIER_OUT overrides the artifact path.
-FRONTIER_OUT ?= frontier.json
+FRONTIER_OUT ?= $(SMOKE_DIR)/frontier.json
 dse-smoke:
+	@mkdir -p $(SMOKE_DIR)
 	@$(GO) run ./cmd/dse -models 4 -shapes 4x2,2x2 -ecp 0,10 -frontier $(FRONTIER_OUT)
 	@grep -q '"digest"' $(FRONTIER_OUT) || \
 		{ echo "dse-smoke: empty frontier in $(FRONTIER_OUT)" >&2; exit 1; }
@@ -43,30 +50,32 @@ dse-smoke:
 # cmd/dse sweep against the shared -trace-dir (each shard must *hit* the
 # store, not regenerate), and check the sharded records are bit-identical
 # to an unsharded regenerate-per-process sweep. TRACE_DIR overrides the
-# store path.
-TRACE_DIR ?= traces
+# store path (it is the uploaded artifact and survives cleanup).
+TRACE_DIR ?= $(SMOKE_DIR)/traces
 trace-smoke:
-	@rm -f trace-shard0.jsonl trace-shard1.jsonl trace-full.jsonl trace-sharded.jsonl trace-unsharded.jsonl
-	@$(GO) run ./cmd/trace pack -models 4 -bsa false,true -seed 1 -dir $(TRACE_DIR)
-	@$(GO) run ./cmd/trace verify $(TRACE_DIR)/*.btrc
-	@out=$$($(GO) run ./cmd/dse -models 4 -bsa false,true -ecp 0,10 -trace-dir $(TRACE_DIR) -shard 0/2 -checkpoint trace-shard0.jsonl); \
+	@set -e; \
+	d=$(SMOKE_DIR)/trace; rm -rf $$d; mkdir -p $$d; \
+	$(GO) run ./cmd/trace pack -models 4 -bsa false,true -seed 1 -dir $(TRACE_DIR); \
+	$(GO) run ./cmd/trace verify $(TRACE_DIR)/*.btrc; \
+	out=$$($(GO) run ./cmd/dse -models 4 -bsa false,true -ecp 0,10 -trace-dir $(TRACE_DIR) -shard 0/2 -checkpoint $$d/shard0.jsonl); \
 		echo "$$out" | grep -q 'trace store .*: [1-9][0-9]* hits' || \
-		{ echo "trace-smoke: shard 0 did not read the shared store" >&2; exit 1; }
-	@out=$$($(GO) run ./cmd/dse -models 4 -bsa false,true -ecp 0,10 -trace-dir $(TRACE_DIR) -shard 1/2 -checkpoint trace-shard1.jsonl); \
+		{ echo "trace-smoke: shard 0 did not read the shared store" >&2; exit 1; }; \
+	out=$$($(GO) run ./cmd/dse -models 4 -bsa false,true -ecp 0,10 -trace-dir $(TRACE_DIR) -shard 1/2 -checkpoint $$d/shard1.jsonl); \
 		echo "$$out" | grep -q 'trace store .*: [1-9][0-9]* hits' || \
-		{ echo "trace-smoke: shard 1 did not read the shared store" >&2; exit 1; }
-	@$(GO) run ./cmd/dse -models 4 -bsa false,true -ecp 0,10 -checkpoint trace-full.jsonl > /dev/null
-	@sort trace-shard0.jsonl trace-shard1.jsonl > trace-sharded.jsonl; sort trace-full.jsonl > trace-unsharded.jsonl
-	@cmp -s trace-sharded.jsonl trace-unsharded.jsonl || \
-		{ echo "trace-smoke: shared-store shard records differ from the regenerating sweep" >&2; exit 1; }
-	@rm -f trace-shard0.jsonl trace-shard1.jsonl trace-full.jsonl trace-sharded.jsonl trace-unsharded.jsonl
-	@echo "trace-smoke: 2-shard shared-store sweep bit-identical to regenerating sweep ($(TRACE_DIR))"
+		{ echo "trace-smoke: shard 1 did not read the shared store" >&2; exit 1; }; \
+	$(GO) run ./cmd/dse -models 4 -bsa false,true -ecp 0,10 -checkpoint $$d/full.jsonl > /dev/null; \
+	sort $$d/shard0.jsonl $$d/shard1.jsonl > $$d/sharded.sorted; sort $$d/full.jsonl > $$d/unsharded.sorted; \
+	cmp -s $$d/sharded.sorted $$d/unsharded.sorted || \
+		{ echo "trace-smoke: shared-store shard records differ from the regenerating sweep" >&2; exit 1; }; \
+	rm -rf $$d; \
+	echo "trace-smoke: 2-shard shared-store sweep bit-identical to regenerating sweep ($(TRACE_DIR))"
 
 # Cross-backend smoke: a tiny -backends bishop,ptb,gpu sweep through cmd/dse
 # must collect records from every backend and emit a non-empty cross-backend
 # frontier artifact. BACKEND_FRONTIER_OUT overrides the artifact path.
-BACKEND_FRONTIER_OUT ?= backend-frontier.json
+BACKEND_FRONTIER_OUT ?= $(SMOKE_DIR)/backend-frontier.json
 backend-smoke:
+	@mkdir -p $(SMOKE_DIR)
 	@out=$$($(GO) run ./cmd/dse -models 4 -backends bishop,ptb,gpu -ecp 0,10 -frontier $(BACKEND_FRONTIER_OUT)); \
 	echo "$$out"; \
 	for b in bishop ptb gpu; do \
@@ -83,45 +92,42 @@ backend-smoke:
 # dump. Then SIGTERM the daemon (asserting a graceful drain), restart it on
 # the same result cache, resubmit the identical spec, and require the rerun
 # to evaluate zero points — every record served from the digest-addressed
-# cache. SERVE_CACHE / SERVE_FRONTIER_OUT override the artifact paths.
-SERVE_CACHE ?= serve-cache
-SERVE_FRONTIER_OUT ?= serve-frontier.json
+# cache. SERVE_FRONTIER_OUT overrides the artifact path.
+SERVE_FRONTIER_OUT ?= $(SMOKE_DIR)/serve-frontier.json
 serve-smoke:
 	@set -e; \
-	rm -rf $(SERVE_CACHE) serve-spec.json serve-cli.jsonl serve-cli.sorted \
-		serve-daemon.jsonl serve-daemon.sorted $(SERVE_FRONTIER_OUT) \
-		serve-bishopd.log serve-bishopd2.log bishopd.bin; \
-	$(GO) run ./cmd/dse -models 4 -backends bishop,ptb,gpu -ecp 0,10 -print-spec > serve-spec.json; \
-	$(GO) run ./cmd/dse -spec serve-spec.json -records serve-cli.jsonl > /dev/null; \
-	$(GO) build -o bishopd.bin ./cmd/bishopd; \
-	./bishopd.bin -addr 127.0.0.1:0 -cache-dir $(SERVE_CACHE) > serve-bishopd.log 2>&1 & \
+	d=$(SMOKE_DIR)/serve; rm -rf $$d; mkdir -p $$d; \
+	$(GO) run ./cmd/dse -models 4 -backends bishop,ptb,gpu -ecp 0,10 -print-spec > $$d/spec.json; \
+	$(GO) run ./cmd/dse -spec $$d/spec.json -records $$d/cli.jsonl > /dev/null; \
+	$(GO) build -o $$d/bishopd.bin ./cmd/bishopd; \
+	$$d/bishopd.bin -addr 127.0.0.1:0 -cache-dir $$d/cache > $$d/bishopd.log 2>&1 & \
 	pid=$$!; \
 	trap 'kill $$pid 2>/dev/null || true' EXIT; \
-	for i in $$(seq 1 100); do grep -q 'listening on' serve-bishopd.log && break; sleep 0.1; done; \
-	addr=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' serve-bishopd.log); \
-	[ -n "$$addr" ] || { echo "serve-smoke: daemon did not start:" >&2; cat serve-bishopd.log >&2; exit 1; }; \
-	id=$$(curl -sS -X POST --data-binary @serve-spec.json "http://$$addr/v1/sweeps" | \
+	for i in $$(seq 1 100); do grep -q 'listening on' $$d/bishopd.log && break; sleep 0.1; done; \
+	addr=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' $$d/bishopd.log); \
+	[ -n "$$addr" ] || { echo "serve-smoke: daemon did not start:" >&2; cat $$d/bishopd.log >&2; exit 1; }; \
+	id=$$(curl -sS -X POST --data-binary @$$d/spec.json "http://$$addr/v1/sweeps" | \
 		sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p'); \
 	[ -n "$$id" ] || { echo "serve-smoke: submit returned no job id" >&2; exit 1; }; \
-	curl -sS "http://$$addr/v1/sweeps/$$id/records" > serve-daemon.jsonl; \
+	curl -sS "http://$$addr/v1/sweeps/$$id/records" > $$d/daemon.jsonl; \
 	curl -sS "http://$$addr/v1/sweeps/$$id/frontier" > $(SERVE_FRONTIER_OUT); \
 	grep -q '"digest"' $(SERVE_FRONTIER_OUT) || \
 		{ echo "serve-smoke: empty frontier in $(SERVE_FRONTIER_OUT)" >&2; exit 1; }; \
-	sort serve-cli.jsonl > serve-cli.sorted; sort serve-daemon.jsonl > serve-daemon.sorted; \
-	cmp -s serve-cli.sorted serve-daemon.sorted || \
+	sort $$d/cli.jsonl > $$d/cli.sorted; sort $$d/daemon.jsonl > $$d/daemon.sorted; \
+	cmp -s $$d/cli.sorted $$d/daemon.sorted || \
 		{ echo "serve-smoke: daemon record stream differs from cmd/dse -spec" >&2; exit 1; }; \
 	kill -TERM $$pid; \
 	for i in $$(seq 1 100); do kill -0 $$pid 2>/dev/null || break; sleep 0.1; done; \
 	kill -0 $$pid 2>/dev/null && { echo "serve-smoke: daemon ignored SIGTERM" >&2; exit 1; }; \
-	grep -q 'bishopd: drained' serve-bishopd.log || \
-		{ echo "serve-smoke: no graceful drain:" >&2; cat serve-bishopd.log >&2; exit 1; }; \
-	./bishopd.bin -addr 127.0.0.1:0 -cache-dir $(SERVE_CACHE) > serve-bishopd2.log 2>&1 & \
+	grep -q 'bishopd: drained' $$d/bishopd.log || \
+		{ echo "serve-smoke: no graceful drain:" >&2; cat $$d/bishopd.log >&2; exit 1; }; \
+	$$d/bishopd.bin -addr 127.0.0.1:0 -cache-dir $$d/cache > $$d/bishopd2.log 2>&1 & \
 	pid=$$!; \
 	trap 'kill $$pid 2>/dev/null || true' EXIT; \
-	for i in $$(seq 1 100); do grep -q 'listening on' serve-bishopd2.log && break; sleep 0.1; done; \
-	addr=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' serve-bishopd2.log); \
-	[ -n "$$addr" ] || { echo "serve-smoke: daemon did not restart:" >&2; cat serve-bishopd2.log >&2; exit 1; }; \
-	curl -sS -X POST --data-binary @serve-spec.json "http://$$addr/v1/sweeps" > /dev/null; \
+	for i in $$(seq 1 100); do grep -q 'listening on' $$d/bishopd2.log && break; sleep 0.1; done; \
+	addr=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' $$d/bishopd2.log); \
+	[ -n "$$addr" ] || { echo "serve-smoke: daemon did not restart:" >&2; cat $$d/bishopd2.log >&2; exit 1; }; \
+	curl -sS -X POST --data-binary @$$d/spec.json "http://$$addr/v1/sweeps" > /dev/null; \
 	st=""; \
 	for i in $$(seq 1 100); do \
 		st=$$(curl -sS "http://$$addr/v1/sweeps/$$id"); \
@@ -135,8 +141,8 @@ serve-smoke:
 		{ echo "serve-smoke: resubmit not served from the result cache: $$st" >&2; exit 1; }; \
 	kill -TERM $$pid; \
 	for i in $$(seq 1 100); do kill -0 $$pid 2>/dev/null || break; sleep 0.1; done; \
-	rm -f serve-cli.sorted serve-daemon.sorted bishopd.bin; \
-	echo "serve-smoke: daemon stream bit-identical to cmd/dse -spec; resubmit served entirely from $(SERVE_CACHE)"
+	rm -rf $$d; \
+	echo "serve-smoke: daemon stream bit-identical to cmd/dse -spec; resubmit served entirely from the result cache"
 
 # Distributed-sweep smoke: 3 local bishopd workers (two behind a seeded
 # fault proxy injecting drops, 500s, and mid-stream truncation), driven by
@@ -144,69 +150,104 @@ serve-smoke:
 # durably merged — mid-sweep — so its shard must be re-leased and absorbed
 # by the survivors. The merged checkpoint must come out byte-identical to an
 # unsharded `cmd/dse -spec` run of the same spec, and the merged frontier
-# artifact must be non-empty. FLEET_CACHE / FLEET_FRONTIER_OUT override the
-# artifact paths.
-FLEET_CACHE ?= fleet-cache
-FLEET_FRONTIER_OUT ?= fleet-frontier.json
+# artifact must be non-empty. FLEET_FRONTIER_OUT overrides the artifact
+# path.
+FLEET_FRONTIER_OUT ?= $(SMOKE_DIR)/fleet-frontier.json
 fleet-smoke:
 	@set -e; \
-	rm -rf $(FLEET_CACHE) fleet-spec.json fleet-ref.jsonl fleet-merged.jsonl \
-		$(FLEET_FRONTIER_OUT) fleet-w1.log fleet-w2.log fleet-w3.log \
-		fleet-proxy.log fleet-ctl.log fleet-ctl.err \
-		bishopd.bin bishopctl.bin faultproxy.bin; \
-	$(GO) run ./cmd/dse -models 4 -bsa false,true -shapes 4x2,2x2,1x2,4x4 -ecp 0,2,4,6,8,10 -print-spec > fleet-spec.json; \
-	$(GO) run ./cmd/dse -spec fleet-spec.json -checkpoint fleet-ref.jsonl > /dev/null; \
-	$(GO) build -o bishopd.bin ./cmd/bishopd; \
-	$(GO) build -o bishopctl.bin ./cmd/bishopctl; \
-	$(GO) build -o faultproxy.bin ./cmd/faultproxy; \
+	d=$(SMOKE_DIR)/fleet; rm -rf $$d; mkdir -p $$d; \
+	$(GO) run ./cmd/dse -models 4 -bsa false,true -shapes 4x2,2x2,1x2,4x4 -ecp 0,2,4,6,8,10 -print-spec > $$d/spec.json; \
+	$(GO) run ./cmd/dse -spec $$d/spec.json -checkpoint $$d/ref.jsonl > /dev/null; \
+	$(GO) build -o $$d/bishopd.bin ./cmd/bishopd; \
+	$(GO) build -o $$d/bishopctl.bin ./cmd/bishopctl; \
+	$(GO) build -o $$d/faultproxy.bin ./cmd/faultproxy; \
 	pids=""; \
 	trap 'kill $$pids 2>/dev/null || true' EXIT; \
-	./bishopd.bin -addr 127.0.0.1:0 -cache-dir $(FLEET_CACHE) > fleet-w1.log 2>&1 & \
+	$$d/bishopd.bin -addr 127.0.0.1:0 -cache-dir $$d/cache > $$d/w1.log 2>&1 & \
 	w1=$$!; pids="$$pids $$w1"; \
-	./bishopd.bin -addr 127.0.0.1:0 -cache-dir $(FLEET_CACHE) > fleet-w2.log 2>&1 & \
+	$$d/bishopd.bin -addr 127.0.0.1:0 -cache-dir $$d/cache > $$d/w2.log 2>&1 & \
 	pids="$$pids $$!"; \
-	./bishopd.bin -addr 127.0.0.1:0 -cache-dir $(FLEET_CACHE) > fleet-w3.log 2>&1 & \
+	$$d/bishopd.bin -addr 127.0.0.1:0 -cache-dir $$d/cache > $$d/w3.log 2>&1 & \
 	pids="$$pids $$!"; \
 	for i in $$(seq 1 100); do \
-		grep -q 'listening on' fleet-w1.log 2>/dev/null && \
-		grep -q 'listening on' fleet-w2.log 2>/dev/null && \
-		grep -q 'listening on' fleet-w3.log 2>/dev/null && break; sleep 0.1; \
+		grep -q 'listening on' $$d/w1.log 2>/dev/null && \
+		grep -q 'listening on' $$d/w2.log 2>/dev/null && \
+		grep -q 'listening on' $$d/w3.log 2>/dev/null && break; sleep 0.1; \
 	done; \
-	a1=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' fleet-w1.log); \
-	a2=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' fleet-w2.log); \
-	a3=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' fleet-w3.log); \
+	a1=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' $$d/w1.log); \
+	a2=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' $$d/w2.log); \
+	a3=$$(sed -n 's,^bishopd: listening on http://\([^ ]*\).*,\1,p' $$d/w3.log); \
 	[ -n "$$a1" ] && [ -n "$$a2" ] && [ -n "$$a3" ] || \
-		{ echo "fleet-smoke: workers did not start" >&2; cat fleet-w*.log >&2; exit 1; }; \
-	./faultproxy.bin -seed 7 -drop 0.08 -error 0.08 -truncate 0.08 -truncate-bytes 300 \
-		-route 127.0.0.1:0=http://$$a2 -route 127.0.0.1:0=http://$$a3 > fleet-proxy.log 2>&1 & \
+		{ echo "fleet-smoke: workers did not start" >&2; cat $$d/w*.log >&2; exit 1; }; \
+	$$d/faultproxy.bin -seed 7 -drop 0.08 -error 0.08 -truncate 0.08 -truncate-bytes 300 \
+		-route 127.0.0.1:0=http://$$a2 -route 127.0.0.1:0=http://$$a3 > $$d/proxy.log 2>&1 & \
 	pids="$$pids $$!"; \
 	for i in $$(seq 1 100); do \
-		[ "$$(grep -c ' -> ' fleet-proxy.log 2>/dev/null)" = "2" ] && break; sleep 0.1; \
+		[ "$$(grep -c ' -> ' $$d/proxy.log 2>/dev/null)" = "2" ] && break; sleep 0.1; \
 	done; \
-	p2=$$(sed -n 's,^faultproxy: \([^ ]*\) -> http://'$$a2'.*,\1,p' fleet-proxy.log); \
-	p3=$$(sed -n 's,^faultproxy: \([^ ]*\) -> http://'$$a3'.*,\1,p' fleet-proxy.log); \
+	p2=$$(sed -n 's,^faultproxy: \([^ ]*\) -> http://'$$a2'.*,\1,p' $$d/proxy.log); \
+	p3=$$(sed -n 's,^faultproxy: \([^ ]*\) -> http://'$$a3'.*,\1,p' $$d/proxy.log); \
 	[ -n "$$p2" ] && [ -n "$$p3" ] || \
-		{ echo "fleet-smoke: fault proxy did not start" >&2; cat fleet-proxy.log >&2; exit 1; }; \
-	./bishopctl.bin run -spec fleet-spec.json -workers $$a1,$$p2,$$p3 \
-		-checkpoint fleet-merged.jsonl -lease-ttl 5s -frontier $(FLEET_FRONTIER_OUT) \
-		> fleet-ctl.log 2> fleet-ctl.err & \
+		{ echo "fleet-smoke: fault proxy did not start" >&2; cat $$d/proxy.log >&2; exit 1; }; \
+	$$d/bishopctl.bin run -spec $$d/spec.json -workers $$a1,$$p2,$$p3 \
+		-checkpoint $$d/merged.jsonl -lease-ttl 5s -frontier $(FLEET_FRONTIER_OUT) \
+		> $$d/ctl.log 2> $$d/ctl.err & \
 	cpid=$$!; pids="$$pids $$cpid"; \
-	for i in $$(seq 1 400); do [ -s fleet-merged.jsonl ] && break; sleep 0.05; done; \
-	[ -s fleet-merged.jsonl ] || \
-		{ echo "fleet-smoke: no record merged within 20s" >&2; cat fleet-ctl.err >&2; exit 1; }; \
+	for i in $$(seq 1 400); do [ -s $$d/merged.jsonl ] && break; sleep 0.05; done; \
+	[ -s $$d/merged.jsonl ] || \
+		{ echo "fleet-smoke: no record merged within 20s" >&2; cat $$d/ctl.err >&2; exit 1; }; \
 	kill -9 $$w1; \
 	wait $$cpid && rc=0 || rc=$$?; \
 	[ "$$rc" = "0" ] || \
-		{ echo "fleet-smoke: coordinator failed ($$rc)" >&2; cat fleet-ctl.err >&2; exit 1; }; \
-	grep -Eq 'released|re-leasing' fleet-ctl.err || \
-		{ echo "fleet-smoke: SIGKILLed worker's shard was never released" >&2; cat fleet-ctl.err >&2; exit 1; }; \
-	cmp -s fleet-merged.jsonl fleet-ref.jsonl || \
+		{ echo "fleet-smoke: coordinator failed ($$rc)" >&2; cat $$d/ctl.err >&2; exit 1; }; \
+	grep -Eq 'released|re-leasing' $$d/ctl.err || \
+		{ echo "fleet-smoke: SIGKILLed worker's shard was never released" >&2; cat $$d/ctl.err >&2; exit 1; }; \
+	cmp -s $$d/merged.jsonl $$d/ref.jsonl || \
 		{ echo "fleet-smoke: merged checkpoint differs from unsharded cmd/dse run" >&2; exit 1; }; \
 	grep -q '"digest"' $(FLEET_FRONTIER_OUT) || \
 		{ echo "fleet-smoke: empty frontier in $(FLEET_FRONTIER_OUT)" >&2; exit 1; }; \
-	cat fleet-ctl.log; \
-	rm -f bishopd.bin bishopctl.bin faultproxy.bin; \
+	cat $$d/ctl.log; \
+	rm -rf $$d; \
 	echo "fleet-smoke: merged checkpoint byte-identical to unsharded sweep after worker SIGKILL behind faults"
+
+# Successive-halving search smoke: a 96-point space through `cmd/dse -rungs
+# 8,4,1` must (1) run at most half the full grid at full fidelity, (2)
+# resume from its checkpoint with zero fresh evaluations when re-run, and
+# (3) produce full-fidelity survivor records byte-identical to lines of a
+# plain grid sweep of the same space (compared as sorted line sets — the
+# checkpoint's append order under parallel evaluation is completion order).
+# SEARCH_FRONTIER_OUT overrides the survivor-frontier artifact path.
+SEARCH_FRONTIER_OUT ?= $(SMOKE_DIR)/search-frontier.json
+SEARCH_SPACE = -models 4 -bsa false,true -shapes 4x2,2x2,1x2,4x4 -ecp 0,2,4,6,8,10 -stratify true,false
+search-smoke:
+	@set -e; \
+	d=$(SMOKE_DIR)/search; rm -rf $$d; mkdir -p $$d; \
+	out=$$($(GO) run ./cmd/dse $(SEARCH_SPACE) -rungs 8,4,1 -eta 2 \
+		-checkpoint $$d/search.jsonl -frontier $(SEARCH_FRONTIER_OUT)); \
+	echo "$$out"; \
+	full=$$(echo "$$out" | sed -n 's/^full-fidelity evaluations: \([0-9]*\) of .*/\1/p'); \
+	grid=$$(echo "$$out" | sed -n 's/^full-fidelity evaluations: [0-9]* of \([0-9]*\) grid points.*/\1/p'); \
+	[ -n "$$full" ] && [ -n "$$grid" ] || \
+		{ echo "search-smoke: no full-fidelity summary line" >&2; exit 1; }; \
+	[ "$$((full * 2))" -le "$$grid" ] || \
+		{ echo "search-smoke: $$full full-fidelity evaluations exceed half of the $$grid-point grid" >&2; exit 1; }; \
+	grep -q '"digest"' $(SEARCH_FRONTIER_OUT) || \
+		{ echo "search-smoke: empty survivor frontier in $(SEARCH_FRONTIER_OUT)" >&2; exit 1; }; \
+	out=$$($(GO) run ./cmd/dse $(SEARCH_SPACE) -rungs 8,4,1 -eta 2 -checkpoint $$d/search.jsonl); \
+	echo "$$out" | grep -q '^search total: 0 fresh evaluations' || \
+		{ echo "search-smoke: checkpoint resume re-evaluated points:" >&2; echo "$$out" >&2; exit 1; }; \
+	$(GO) run ./cmd/dse $(SEARCH_SPACE) -checkpoint $$d/grid.jsonl > /dev/null; \
+	grep -v '"fidelity"' $$d/search.jsonl | sort > $$d/survivors.sorted; \
+	sort $$d/grid.jsonl > $$d/grid.sorted; \
+	[ "$$(wc -l < $$d/survivors.sorted)" = "$$full" ] || \
+		{ echo "search-smoke: checkpoint holds $$(wc -l < $$d/survivors.sorted) full-fidelity records, summary said $$full" >&2; exit 1; }; \
+	[ -z "$$(comm -23 $$d/survivors.sorted $$d/grid.sorted)" ] || \
+		{ echo "search-smoke: survivor records are not byte-identical to grid sweep records" >&2; exit 1; }; \
+	rm -rf $$d; \
+	echo "search-smoke: $$full of $$grid grid points simulated at full fidelity; survivors byte-identical to the grid sweep; resume fresh-free"
+
+smoke-clean:
+	rm -rf $(SMOKE_DIR)
 
 fmt:
 	gofmt -w .
@@ -218,4 +259,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race bench dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke
+ci: build fmt-check vet race bench dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke search-smoke

@@ -6,7 +6,8 @@
 // the checkpoint line format.
 //
 //	POST /v1/sweeps               submit a spec (strict JSON) → job id; 429 + backlog-derived Retry-After when the queue is full
-//	GET  /v1/sweeps/{id}          job status
+//	POST /v1/searches             submit a dse.SearchSpec (successive-halving search) under the same admission rules
+//	GET  /v1/sweeps/{id}          job status (sweep or search; /v1/searches/{id} and its subroutes are aliases)
 //	GET  /v1/sweeps/{id}/records  live NDJSON record stream; ?from=N resumes at offset N; last client leaving cancels the sweep
 //	GET  /v1/sweeps/{id}/frontier live latency/energy Pareto frontier
 //	GET  /v1/backends             registered backends with option schemas

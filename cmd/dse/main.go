@@ -30,6 +30,19 @@
 //	dse -models 3 -backends bishop,ptb,gpu -ecp 0,6          # cross-backend frontier
 //	dse -models 3 -ecp 0,6 -print-spec > sweep.json          # compile, don't run
 //	dse -spec sweep.json -records records.jsonl              # run a saved spec
+//
+// Successive-halving search (-rungs, or -search file.json) triages a large
+// space with cheap low-fidelity proxy evaluations before spending full
+// simulations on the survivors: -rungs 8,4,1 evaluates every candidate on a
+// 1/8-volume trace, promotes the best 1/eta by -objective (ties broken by
+// point digest, so the search is deterministic), re-ranks them at 1/4, and
+// runs only the final survivors at full fidelity. Records carry a fidelity
+// tag, so a search sharing -checkpoint/-result-cache with plain sweeps stays
+// exact, and an interrupted search resumes with zero re-evaluation.
+//
+//	dse -models 4 -bsa false,true -ecp 0,2,4,6 -rungs 8,4,1 -eta 2
+//	dse -models 4 -ecp 0,6 -rungs 8,1 -print-spec > search.json
+//	dse -search search.json -checkpoint search.jsonl -frontier front.json
 package main
 
 import (
@@ -69,7 +82,76 @@ func main() {
 	printSpec := flag.Bool("print-spec", false, "print the compiled sweep spec as JSON and exit without evaluating")
 	records := flag.String("records", "", "write the merged record set as JSONL to this path")
 	resultCache := flag.String("result-cache", "", "digest-addressed result-cache directory (shared with bishopd)")
+	rungs := flag.String("rungs", "", "successive-halving fidelity ladder as trace-scale divisors, e.g. 8,4,1 (enables search mode)")
+	eta := flag.Int("eta", 0, "halving ratio: keep ~1/eta of each rung's candidates (default 2; search mode)")
+	objective := flag.String("objective", "", "promotion objective: latency, energy, edp, or pareto (default edp; search mode)")
+	minSurvivors := flag.Int("min-survivors", 0, "promotion floor per rung (default 1; search mode)")
+	searchPath := flag.String("search", "", "run this saved search spec (successive-halving) instead of compiling one from flags")
 	flag.Parse()
+
+	if *searchPath != "" || *rungs != "" {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "spec":
+				fatal(fmt.Errorf("-spec conflicts with search mode; use -search for a saved search document"))
+			case "shard":
+				fatal(fmt.Errorf("-shard does not apply to search mode (use bishopctl search for distributed runs)"))
+			}
+			if *searchPath != "" {
+				switch f.Name {
+				case "models", "bsa", "backends", "shapes", "thetas", "splits",
+					"stratify", "ecp", "random", "seed",
+					"rungs", "eta", "objective", "min-survivors":
+					fatal(fmt.Errorf("-%s conflicts with -search; edit the spec file instead", f.Name))
+				}
+			}
+		})
+		var spec dse.SearchSpec
+		if *searchPath != "" {
+			data, err := os.ReadFile(*searchPath)
+			if err != nil {
+				fatal(err)
+			}
+			if spec, err = dse.DecodeSearchSpec(data); err != nil {
+				fatal(err)
+			}
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "checkpoint":
+					spec.Checkpoint = *checkpoint
+				case "trace-dir":
+					spec.TraceDir = *traceDir
+				case "jobs":
+					spec.Jobs = *jobs
+				}
+			})
+		} else {
+			space, err := parseSpace(*models, *bsa, *shapes, *thetas, *splits, *stratify, *ecp)
+			if err != nil {
+				fatal(err)
+			}
+			space.Backends = split(*backends)
+			ladder, err := csvInts(*rungs)
+			if err != nil {
+				fatal(fmt.Errorf("-rungs: %w", err))
+			}
+			spec = dse.SearchSpec{
+				Space: space, Random: *random, Seed: *seed,
+				Rungs: ladder, Eta: *eta, Objective: *objective, MinSurvivors: *minSurvivors,
+				Checkpoint: *checkpoint, TraceDir: *traceDir, Jobs: *jobs,
+			}
+		}
+		runSearch(spec, *printSpec, *frontier, *records, *resultCache)
+		return
+	}
+	for _, bad := range []struct {
+		set  bool
+		name string
+	}{{*eta != 0, "eta"}, {*objective != "", "objective"}, {*minSurvivors != 0, "min-survivors"}} {
+		if bad.set {
+			fatal(fmt.Errorf("-%s only applies to search mode (-rungs or -search)", bad.name))
+		}
+	}
 
 	var spec dse.SweepSpec
 	if *specPath != "" {
@@ -181,6 +263,76 @@ func main() {
 	if !rs.Complete() {
 		fmt.Printf("\n%d points remain (other shards, or resume with the same -checkpoint)\n",
 			len(rs.Points)-len(rs.Records))
+	}
+}
+
+// runSearch executes (or, with printSpec, just compiles) a
+// successive-halving search and reports the rung progression, the survivor
+// frontier, and the full-fidelity cost against the equivalent grid sweep.
+func runSearch(spec dse.SearchSpec, printSpec bool, frontier, records, resultCache string) {
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+	if printSpec {
+		data, err := dse.EncodeSearchSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	var opt serve.RunOptions
+	if resultCache != "" {
+		opt.Cache = &serve.Cache{Dir: resultCache}
+	}
+	res, err := serve.RunSearch(context.Background(), spec, opt)
+	if err != nil {
+		fatal(err)
+	}
+	sr := res.Search
+	norm := spec.Normalized()
+	grid := len(norm.Points())
+	fmt.Printf("search: objective %s, eta %d, rungs %v (seed %d)\n",
+		norm.Objective, norm.Eta, norm.Rungs, norm.Seed)
+	fullFidelity := 0
+	for i, rung := range sr.Rungs {
+		label := fmt.Sprintf("fidelity 1/%d", rung.Fidelity)
+		if rung.Fidelity <= 1 {
+			label = "full fidelity"
+			fullFidelity = rung.Candidates
+		}
+		fmt.Printf("rung %d: %-13s %3d candidates, %3d evaluated, %3d promoted\n",
+			i+1, label, rung.Candidates, rung.Evaluated, rung.Survivors)
+	}
+	fmt.Printf("search total: %d fresh evaluations this run\n", sr.Evaluated)
+	fmt.Printf("full-fidelity evaluations: %d of %d grid points\n", fullFidelity, grid)
+	if norm.TraceDir != "" {
+		h, m, e := workload.TraceStoreStats()
+		fmt.Printf("trace store %s: %d hits, %d misses, %d errors\n", norm.TraceDir, h, m, e)
+	}
+	if resultCache != "" {
+		fmt.Printf("result cache %s: %d hits, %d misses\n", resultCache, res.CacheHits, res.CacheMisses)
+	}
+	fmt.Println()
+
+	front := dse.Frontier(res.Set.Records)
+	fmt.Println("survivor latency/energy Pareto frontier:")
+	dse.FprintFrontier(os.Stdout, front)
+	if frontier != "" {
+		data, err := dse.EncodeFrontier(front, len(res.Set.Records))
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(frontier, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d frontier points)\n", frontier, len(front))
+	}
+	if records != "" {
+		if err := writeRecords(records, res.Set.Records); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d survivor records)\n", records, len(res.Set.Records))
 	}
 }
 

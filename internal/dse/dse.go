@@ -35,6 +35,13 @@ type Record struct {
 	BSA     bool   `json:"bsa"`
 	Seed    uint64 `json:"seed"`
 
+	// Fidelity is the trace-scale divisor the evaluation ran at (see
+	// workload.TraceOptions.Scale). The canonical spelling of full fidelity
+	// is the *absent* tag, so full-fidelity records — every record that
+	// existed before the multi-fidelity axis — keep their historical bytes,
+	// and legacy checkpoints decode and resume bit-identically.
+	Fidelity int `json:"fidelity,omitempty"`
+
 	// Opt is the Bishop configuration of a bishop record; nil otherwise.
 	Opt *accel.Options `json:"opt,omitempty"`
 	// BackendOpt is the canonical options document of a non-bishop record
@@ -81,9 +88,16 @@ func (r Record) Point() Point {
 
 // valid reports whether a decoded checkpoint record is self-consistent —
 // bishop records carry their Options, non-bishop records carry a decodable
-// options document — canonicalizing an explicitly spelled bishop tag along
-// the way. Invalid lines are skipped on load and simply re-evaluate.
+// options document — canonicalizing an explicitly spelled bishop tag (and
+// an explicit fidelity 1, which means full fidelity) along the way. Invalid
+// lines are skipped on load and simply re-evaluate.
 func (r *Record) valid() bool {
+	if r.Fidelity < 0 {
+		return false
+	}
+	if r.Fidelity == 1 {
+		r.Fidelity = 0
+	}
 	switch r.Backend {
 	case "", backend.BishopName:
 		if r.Opt == nil {
@@ -125,12 +139,22 @@ func digestKey(p Point) string { return fmt.Sprintf("%016x", p.Digest()) }
 // bundle shape, matching the paper's §6.5 methodology — so sweeping hardware
 // axes, and evaluating the same workload on several backends, reuses one
 // trace per (model, BSA, seed) triple.
-func Evaluate(p Point, seed uint64) Record {
+func Evaluate(p Point, seed uint64) Record { return EvaluateAt(p, seed, 0) }
+
+// EvaluateAt simulates one point against the fidelity's reduced-volume
+// proxy trace (fidelity k > 1 divides the trace's spike volume by ~k; 0 and
+// 1 both mean the full trace and produce a record byte-identical to
+// Evaluate's). Low-fidelity records carry the fidelity tag, so they can
+// never be mistaken for — or satisfy a resume of — a full evaluation.
+func EvaluateAt(p Point, seed uint64, fidelity int) Record {
+	if fidelity <= 1 {
+		fidelity = 0
+	}
 	p = p.canon()
 	cfg := transformer.ModelZoo()[p.Model-1]
 	sc := workload.Scenarios()[p.Model]
-	tr := workload.CachedTrace(cfg, sc, workload.TraceOptions{BSA: p.BSA}, seed)
-	rec := Record{Digest: digestKey(p), Model: p.Model, BSA: p.BSA, Seed: seed}
+	tr := workload.CachedTrace(cfg, sc, workload.TraceOptions{BSA: p.BSA, Scale: fidelity}, seed)
+	rec := Record{Digest: digestKey(p), Model: p.Model, BSA: p.BSA, Seed: seed, Fidelity: fidelity}
 	var rep *hw.Report
 	if p.Backend == nil {
 		opt := p.Opt
@@ -168,6 +192,19 @@ type Config struct {
 
 	Jobs int // parallel evaluators (<=0 → GOMAXPROCS)
 
+	// Fidelity is the trace-scale divisor every evaluation runs at (0 or 1 =
+	// full fidelity). Checkpoint and Preloaded adoption is fidelity-scoped
+	// exactly as it is seed-scoped: a cheap proxy record never satisfies a
+	// full-fidelity sweep, and vice versa.
+	Fidelity int
+
+	// Select, when non-nil, restricts evaluation to points whose digest
+	// (%016x) appears in it — the successive-halving driver's survivor
+	// filter. Indices are untouched: a selected point keeps the index it has
+	// in the full enumeration, so its records stay byte-identical to an
+	// unrestricted sweep's.
+	Select []string
+
 	// Preloaded seeds the sweep with records that are already known — the
 	// serving layer's digest-addressed result cache. Records carrying the
 	// sweep's seed are adopted into the result set without re-evaluation,
@@ -189,6 +226,9 @@ func (c *Config) normalize() error {
 	}
 	if c.Shard < 0 || c.Shard >= c.Shards {
 		return fmt.Errorf("dse: shard %d outside [0,%d)", c.Shard, c.Shards)
+	}
+	if c.Fidelity <= 1 {
+		c.Fidelity = 0
 	}
 	return nil
 }
@@ -237,26 +277,33 @@ func Sweep(ctx context.Context, points []Point, cfg Config) (*ResultSet, error) 
 		}
 		defer ckpt.Close()
 		for _, r := range ckpt.Records() {
-			// A record from a different trace seed describes a different
-			// experiment: never let it satisfy this sweep's points.
-			if r.Seed == cfg.Seed {
+			// A record from a different trace seed or fidelity describes a
+			// different experiment: never let it satisfy this sweep's points.
+			if r.Seed == cfg.Seed && r.Fidelity == cfg.Fidelity {
 				done[r.Digest] = r
 			}
 		}
 	}
 	for _, r := range cfg.Preloaded {
-		// Same seed discipline as the checkpoint; malformed injected records
-		// are dropped and their points simply re-evaluate.
-		if r.Seed == cfg.Seed && r.valid() {
+		// Same seed and fidelity discipline as the checkpoint; malformed
+		// injected records are dropped and their points simply re-evaluate.
+		if r.Seed == cfg.Seed && r.valid() && r.Fidelity == cfg.Fidelity {
 			done[r.Digest] = r
 		}
 	}
+	var sel map[string]bool
+	if cfg.Select != nil {
+		sel = make(map[string]bool, len(cfg.Select))
+		for _, d := range cfg.Select {
+			sel[d] = true
+		}
+	}
 
-	// Shard partition, then drop points that are already evaluated —
-	// checkpointed at this seed, or duplicated within the point set itself
-	// (seeded-random samples repeat coordinates). Digests key the skip test
-	// so a checkpoint survives re-ordering of the spec; indices are
-	// recomputed from the current enumeration.
+	// Shard partition and survivor selection, then drop points that are
+	// already evaluated — checkpointed at this seed, or duplicated within the
+	// point set itself (seeded-random samples repeat coordinates). Digests
+	// key the skip test so a checkpoint survives re-ordering of the spec;
+	// indices are recomputed from the current enumeration.
 	var todo []int
 	queued := map[string]bool{}
 	for i := range points {
@@ -264,6 +311,9 @@ func Sweep(ctx context.Context, points []Point, cfg Config) (*ResultSet, error) 
 			continue
 		}
 		key := digestKey(points[i])
+		if sel != nil && !sel[key] {
+			continue
+		}
 		if _, ok := done[key]; ok || queued[key] {
 			continue
 		}
@@ -275,7 +325,7 @@ func Sweep(ctx context.Context, points []Point, cfg Config) (*ResultSet, error) 
 	fresh := map[string]Record{}
 	err := sched.Map(ctx, len(todo), cfg.Jobs, func(k int) error {
 		i := todo[k]
-		rec := Evaluate(points[i], cfg.Seed)
+		rec := EvaluateAt(points[i], cfg.Seed, cfg.Fidelity)
 		rec.Index = i
 		mu.Lock()
 		defer mu.Unlock()
@@ -294,6 +344,9 @@ func Sweep(ctx context.Context, points []Point, cfg Config) (*ResultSet, error) 
 	rs := &ResultSet{Points: points, Evaluated: len(fresh)}
 	for i, p := range points {
 		key := digestKey(p)
+		if sel != nil && !sel[key] {
+			continue
+		}
 		rec, ok := fresh[key]
 		if !ok {
 			if rec, ok = done[key]; !ok {

@@ -67,25 +67,34 @@ func (w *CheckpointWriter) AppendLine(line []byte) error { return w.c.appendLine
 // Close closes the underlying file.
 func (w *CheckpointWriter) Close() error { return w.c.Close() }
 
-// Dedup is a seed-scoped record set keyed by point digest. Add is the merge
-// primitive for streams that re-deliver records — re-leased shards, replayed
-// worker logs, resumed checkpoints — it accepts each digest once and drops
-// records from other trace seeds (a record from a different seed describes a
-// different experiment, same discipline as checkpoint adoption).
+// Dedup is a seed- and fidelity-scoped record set keyed by point digest.
+// Add is the merge primitive for streams that re-deliver records — re-leased
+// shards, replayed worker logs, resumed checkpoints — it accepts each digest
+// once and drops records from other trace seeds or fidelities (either
+// describes a different experiment, same discipline as checkpoint adoption).
 type Dedup struct {
-	seed uint64
-	recs map[string]Record
+	seed     uint64
+	fidelity int
+	recs     map[string]Record
 }
 
-// NewDedup returns a deduper admitting records with the given trace seed.
-func NewDedup(seed uint64) *Dedup {
-	return &Dedup{seed: seed, recs: map[string]Record{}}
+// NewDedup returns a deduper admitting full-fidelity records with the given
+// trace seed.
+func NewDedup(seed uint64) *Dedup { return NewDedupAt(seed, 0) }
+
+// NewDedupAt returns a deduper admitting records with the given trace seed
+// and fidelity tag (0 or 1 = full fidelity).
+func NewDedupAt(seed uint64, fidelity int) *Dedup {
+	if fidelity <= 1 {
+		fidelity = 0
+	}
+	return &Dedup{seed: seed, fidelity: fidelity, recs: map[string]Record{}}
 }
 
-// Add reports whether rec is fresh — right seed, digest not seen before —
-// and remembers it when it is.
+// Add reports whether rec is fresh — right seed and fidelity, digest not
+// seen before — and remembers it when it is.
 func (d *Dedup) Add(rec Record) bool {
-	if rec.Seed != d.seed {
+	if rec.Seed != d.seed || rec.Fidelity != d.fidelity {
 		return false
 	}
 	if _, ok := d.recs[rec.Digest]; ok {

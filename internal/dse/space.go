@@ -328,6 +328,15 @@ func (s Space) Grid() []Point {
 // then the chosen backend's option axes), the seeded-random search mode for
 // grids too large to enumerate. Duplicate coordinates are kept (the sweep
 // engine dedupes by digest), and the sequence is fully determined by seed.
+//
+// The draw count is taken literally even when it exceeds the number of
+// distinct points in the space: Sample always terminates after exactly
+// count draws, repeats coordinates as the RNG dictates, and never costs
+// more than the distinct-point count in simulations (Sweep evaluates each
+// digest once). The sequence for a given seed is prefix-stable —
+// Sample(k, seed) is exactly the first k draws of Sample(n, seed) for any
+// n ≥ k — which is what lets a random search grow its budget without
+// invalidating earlier checkpoints.
 func (s Space) Sample(count int, seed uint64) []Point {
 	n := s.normalized()
 	rng := tensor.NewRNG(seed)

@@ -3,6 +3,7 @@ package dse
 import (
 	"encoding/json"
 	"fmt"
+	"slices"
 
 	"repro/internal/hw"
 )
@@ -35,6 +36,20 @@ type SweepSpec struct {
 	Shard  int `json:"shard,omitempty"`
 	Shards int `json:"shards,omitempty"`
 
+	// Fidelity is the trace-scale divisor every evaluation runs at: 0 or 1
+	// means the full trace (the canonical spelling is the absent field, so
+	// pre-fidelity specs keep their digests), k > 1 evaluates the ~1/k-volume
+	// proxy trace and tags every record with the fidelity. Successive-halving
+	// rungs are ordinary sweeps with this set.
+	Fidelity int `json:"fidelity,omitempty"`
+
+	// Select, when non-empty, restricts evaluation to the listed point
+	// digests (%016x) while keeping every point's index in the full
+	// enumeration — how the halving driver narrows a rung to its survivors
+	// without perturbing record bytes. Normalized specs carry it sorted and
+	// deduplicated.
+	Select []string `json:"select,omitempty"`
+
 	// Checkpoint is the JSONL record file making the sweep resumable;
 	// TraceDir points the process-wide trace store at a shared directory
 	// (both are execution attachments: they do not change which records the
@@ -49,8 +64,9 @@ type SweepSpec struct {
 
 // Normalized returns the spec with the zero spellings of the scalar knobs
 // resolved: Seed 0 becomes the default seed 1, Shards <= 0 becomes the
-// single shard 1. The space axes keep their compact spelling — Points and
-// Digest normalize them on the fly.
+// single shard 1, Fidelity 1 collapses to the canonical 0 (full), and the
+// Select list is sorted and deduplicated. The space axes keep their compact
+// spelling — Points and Digest normalize them on the fly.
 func (s SweepSpec) Normalized() SweepSpec {
 	if s.Seed == 0 {
 		s.Seed = 1
@@ -58,12 +74,21 @@ func (s SweepSpec) Normalized() SweepSpec {
 	if s.Shards <= 0 {
 		s.Shards = 1
 	}
+	if s.Fidelity == 1 {
+		s.Fidelity = 0
+	}
+	if len(s.Select) > 0 {
+		sel := slices.Clone(s.Select)
+		slices.Sort(sel)
+		s.Select = slices.Compact(sel)
+	}
 	return s
 }
 
 // Validate reports an invalid spec — bad axis values, a negative sample
-// count, or a shard index outside [0, Shards) — before a sweep (or a
-// daemon job slot) burns time on it.
+// count, a shard index outside [0, Shards), a negative fidelity, or a
+// malformed select digest — before a sweep (or a daemon job slot) burns
+// time on it.
 func (s SweepSpec) Validate() error {
 	if err := s.Space.Validate(); err != nil {
 		return err
@@ -71,11 +96,34 @@ func (s SweepSpec) Validate() error {
 	if s.Random < 0 {
 		return fmt.Errorf("dse: negative random sample count %d", s.Random)
 	}
+	if s.Fidelity < 0 {
+		return fmt.Errorf("dse: negative fidelity %d", s.Fidelity)
+	}
+	for _, d := range s.Select {
+		if !validDigest(d) {
+			return fmt.Errorf("dse: select entry %q is not a 16-hex point digest", d)
+		}
+	}
 	n := s.Normalized()
 	if n.Shard < 0 || n.Shard >= n.Shards {
 		return fmt.Errorf("dse: shard %d outside [0,%d)", n.Shard, n.Shards)
 	}
 	return nil
+}
+
+// validDigest reports whether d is spelled the way digestKey renders point
+// digests: exactly 16 lowercase hex characters.
+func validDigest(d string) bool {
+	if len(d) != 16 {
+		return false
+	}
+	for i := 0; i < len(d); i++ {
+		c := d[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // Points enumerates the spec's point set: the full grid, or the seeded
@@ -92,7 +140,8 @@ func (s SweepSpec) Points() []Point {
 // Config translates the spec's execution knobs into a sweep Config.
 func (s SweepSpec) Config() Config {
 	n := s.Normalized()
-	return Config{Seed: n.Seed, Checkpoint: n.Checkpoint, Shard: n.Shard, Shards: n.Shards, Jobs: n.Jobs}
+	return Config{Seed: n.Seed, Checkpoint: n.Checkpoint, Shard: n.Shard, Shards: n.Shards,
+		Jobs: n.Jobs, Fidelity: n.Fidelity, Select: n.Select}
 }
 
 // Digest fingerprints the *result identity* of the spec: which records a

@@ -156,14 +156,37 @@ func sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// retryAfter parses a 429's Retry-After seconds value, falling back to fall.
-func retryAfter(resp *http.Response, fall time.Duration) time.Duration {
-	if v := resp.Header.Get("Retry-After"); v != "" {
-		if secs, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && secs >= 0 {
-			return time.Duration(secs) * time.Second
-		}
+// maxRetryAfter caps server-directed 429 pacing. It is deliberately far
+// above any backoff ceiling — a loaded daemon may legitimately ask for tens
+// of seconds — but finite, so a confused clock or a corrupt header cannot
+// park a worker for hours.
+const maxRetryAfter = 5 * time.Minute
+
+// retryAfter parses a 429's Retry-After header, which RFC 9110 allows in
+// either delta-seconds or HTTP-date form, defensively clamped: a missing,
+// unparsable, negative, or in-the-past value falls back to fall (sleeping
+// on garbage would stall the shard), and an absurdly large one is capped
+// at max.
+func retryAfter(resp *http.Response, fall, max time.Duration) time.Duration {
+	v := strings.TrimSpace(resp.Header.Get("Retry-After"))
+	if v == "" {
+		return fall
 	}
-	return fall
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(v); err == nil {
+		d = time.Until(t)
+	} else {
+		return fall
+	}
+	if d < 0 {
+		return fall
+	}
+	if d > max {
+		return max
+	}
+	return d
 }
 
 // doJSON runs one unary request with the full robustness stack — per-request
@@ -248,7 +271,7 @@ func (w *Worker) attemptJSON(ctx context.Context, method, path string, body []by
 	case resp.StatusCode == http.StatusTooManyRequests:
 		// The host is alive and pacing us: not a breaker failure.
 		w.br.success()
-		return retryAfter(resp, w.cfg.Retry.BaseDelay), fmt.Errorf("fleet: %s%s: 429 queue full", w.base, path)
+		return retryAfter(resp, w.cfg.Retry.BaseDelay, maxRetryAfter), fmt.Errorf("fleet: %s%s: 429 queue full", w.base, path)
 	case resp.StatusCode >= 500:
 		w.br.failure()
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))

@@ -289,6 +289,24 @@ func Run(ctx context.Context, spec dse.SweepSpec, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if len(spec.Select) > 0 {
+		// A survivor-restricted spec (a search rung) only ever produces
+		// records for the selected digests; an unfiltered inventory would
+		// keep every shard "incomplete" forever.
+		sel := make(map[string]bool, len(spec.Select))
+		for _, d := range spec.Select {
+			sel[d] = true
+		}
+		for i, digests := range shards {
+			kept := digests[:0]
+			for _, d := range digests {
+				if sel[d] {
+					kept = append(kept, d)
+				}
+			}
+			shards[i] = kept
+		}
+	}
 
 	ckpt, err := dse.OpenCheckpointWriter(cfg.Checkpoint)
 	if err != nil {
@@ -302,7 +320,7 @@ func Run(ctx context.Context, spec dse.SweepSpec, cfg Config) (Result, error) {
 		points:   points,
 		shards:   shards,
 		table:    newLeaseTable(cfg.Shards, cfg.LeaseTTL, nil),
-		dedup:    dse.NewDedup(spec.Seed),
+		dedup:    dse.NewDedupAt(spec.Seed, spec.Fidelity),
 		ckpt:     ckpt,
 		byWorker: map[string]int{},
 	}

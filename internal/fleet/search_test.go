@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/serve"
+)
+
+// TestRetryAfterParsing pins both legal spellings of Retry-After (RFC 9110:
+// delta-seconds or an HTTP-date) plus the defensive clamps: negative or
+// unparseable values fall back to the caller's backoff delay, absurd values
+// clamp to the retry policy's ceiling.
+func TestRetryAfterParsing(t *testing.T) {
+	const fall, max = 50 * time.Millisecond, 10 * time.Second
+	mk := func(v string) *http.Response {
+		resp := &http.Response{Header: http.Header{}}
+		if v != "" {
+			resp.Header.Set("Retry-After", v)
+		}
+		return resp
+	}
+	for name, tc := range map[string]struct {
+		header   string
+		min, max time.Duration
+	}{
+		"absent":          {"", fall, fall},
+		"delta seconds":   {"3", 3 * time.Second, 3 * time.Second},
+		"zero delta":      {"0", 0, 0},
+		"negative delta":  {"-5", fall, fall},
+		"absurd delta":    {"86400", max, max},
+		"http date":       {time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat), 3 * time.Second, 5 * time.Second},
+		"past http date":  {time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), fall, fall},
+		"far http date":   {time.Now().Add(time.Hour).UTC().Format(http.TimeFormat), max, max},
+		"garbage":         {"soon", fall, fall},
+		"garbage numeric": {"3.5s", fall, fall},
+	} {
+		got := retryAfter(mk(tc.header), fall, max)
+		if got < tc.min || got > tc.max {
+			t.Errorf("%s: retryAfter(%q) = %v, want in [%v, %v]", name, tc.header, got, tc.min, tc.max)
+		}
+	}
+}
+
+// TestFleetSearch drives a successive-halving search across two real
+// workers: the ladder must prune 12 candidates to 6 full-fidelity
+// survivors, the survivor records must match an unsharded serve.Run of the
+// final rung's spec, and re-running the identical command must resume from
+// the per-rung checkpoints with zero re-evaluation.
+func TestFleetSearch(t *testing.T) {
+	spec := dse.SearchSpec{Space: fleetSpec().Space, Rungs: []int{8, 1}, Eta: 2}
+	var workers []string
+	for i := 0; i < 2; i++ {
+		workers = append(workers, newWorkerServer(t, serve.ManagerConfig{}).URL)
+	}
+	ck := filepath.Join(t.TempDir(), "search.jsonl")
+	cfg := Config{
+		Workers:    workers,
+		Checkpoint: ck,
+		LeaseTTL:   10 * time.Second,
+		Worker:     fleetWorkerConfig(),
+		Logf:       t.Logf,
+	}
+	sr, err := RunSearch(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatalf("fleet search: %v", err)
+	}
+	if len(sr.Rungs) != 2 || sr.Rungs[0].Candidates != 12 || sr.Rungs[1].Candidates != 6 {
+		t.Fatalf("rung progression %+v, want 12 -> 6", sr.Rungs)
+	}
+	if sr.Final == nil || len(sr.Final.Records) != 6 {
+		t.Fatalf("final set %+v, want 6 survivor records", sr.Final)
+	}
+
+	// The survivors' records must be exactly what an unsharded local run of
+	// the final rung produces.
+	ref, err := serve.Run(context.Background(), spec.RungSpec(1, sr.Survivors), serve.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Set.Records) != len(sr.Final.Records) {
+		t.Fatalf("reference has %d records, fleet search %d", len(ref.Set.Records), len(sr.Final.Records))
+	}
+	for i := range ref.Set.Records {
+		a, _ := json.Marshal(ref.Set.Records[i])
+		b, _ := json.Marshal(sr.Final.Records[i])
+		if string(a) != string(b) {
+			t.Fatalf("survivor %d differs from the unsharded run:\n%s\n%s", i, a, b)
+		}
+	}
+
+	// The identical command resumes from <ck>.r8 and <ck>.r1 and evaluates
+	// nothing anywhere in the ladder.
+	again, err := RunSearch(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatalf("fleet search resume: %v", err)
+	}
+	if again.Evaluated != 0 {
+		t.Fatalf("resume re-evaluated %d points, want 0", again.Evaluated)
+	}
+	if len(again.Survivors) != len(sr.Survivors) {
+		t.Fatal("resumed survivor set drifted")
+	}
+	for i := range sr.Survivors {
+		if again.Survivors[i] != sr.Survivors[i] {
+			t.Fatal("resumed survivor set drifted")
+		}
+	}
+}
+
+// TestFleetSearchRequiresCheckpoint pins the guard: promotion state lives in
+// the rung checkpoints, so a checkpoint-less fleet search is refused.
+func TestFleetSearchRequiresCheckpoint(t *testing.T) {
+	if _, err := RunSearch(context.Background(),
+		dse.SearchSpec{Space: fleetSpec().Space}, Config{Workers: []string{"http://127.0.0.1:1"}}); err == nil {
+		t.Fatal("checkpoint-less fleet search must be rejected")
+	}
+}

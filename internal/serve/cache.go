@@ -26,16 +26,37 @@ type Cache struct {
 	Dir string
 }
 
-// Path returns where the record for (digest, seed) lives.
+// Path returns where the full-fidelity record for (digest, seed) lives.
 func (c Cache) Path(digest string, seed uint64) string {
-	return filepath.Join(c.Dir, fmt.Sprintf("%s.s%d.json", digest, seed))
+	return c.PathAt(digest, seed, 0)
 }
 
-// Load returns the cached record for (digest, seed). A miss — absent,
-// unreadable, corrupt, or mislabeled entry — reports ok=false; corrupt
-// entries are never fatal, the point simply re-evaluates.
+// PathAt returns where the record for (digest, seed, fidelity) lives.
+// Full fidelity (0 or 1) keeps the legacy <digest>.s<seed>.json name, so
+// caches populated before the fidelity axis existed keep serving hits;
+// low-fidelity entries get a .f<k> infix of their own.
+func (c Cache) PathAt(digest string, seed uint64, fidelity int) string {
+	if fidelity <= 1 {
+		return filepath.Join(c.Dir, fmt.Sprintf("%s.s%d.json", digest, seed))
+	}
+	return filepath.Join(c.Dir, fmt.Sprintf("%s.s%d.f%d.json", digest, seed, fidelity))
+}
+
+// Load returns the cached full-fidelity record for (digest, seed). A miss —
+// absent, unreadable, corrupt, or mislabeled entry — reports ok=false;
+// corrupt entries are never fatal, the point simply re-evaluates.
 func (c Cache) Load(digest string, seed uint64) (dse.Record, bool) {
-	data, err := os.ReadFile(c.Path(digest, seed))
+	return c.LoadAt(digest, seed, 0)
+}
+
+// LoadAt is Load for an arbitrary fidelity. The fidelity check matters even
+// though the path already encodes it: a renamed or hand-placed entry must
+// not satisfy an evaluation at a different fidelity.
+func (c Cache) LoadAt(digest string, seed uint64, fidelity int) (dse.Record, bool) {
+	if fidelity <= 1 {
+		fidelity = 0
+	}
+	data, err := os.ReadFile(c.PathAt(digest, seed, fidelity))
 	if err != nil {
 		return dse.Record{}, false
 	}
@@ -43,13 +64,13 @@ func (c Cache) Load(digest string, seed uint64) (dse.Record, bool) {
 	if err := hw.DecodeStrict(data, &r); err != nil {
 		return dse.Record{}, false
 	}
-	if !r.Valid() || r.Digest != digest || r.Seed != seed {
+	if !r.Valid() || r.Digest != digest || r.Seed != seed || r.Fidelity != fidelity {
 		return dse.Record{}, false
 	}
 	return r, true
 }
 
-// Save publishes rec under its own digest and seed, atomically.
+// Save publishes rec under its own digest, seed, and fidelity, atomically.
 func (c Cache) Save(rec dse.Record) error {
 	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
 		return fmt.Errorf("serve: cache: %w", err)
@@ -71,7 +92,7 @@ func (c Cache) Save(rec dse.Record) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, c.Path(rec.Digest, rec.Seed))
+		err = os.Rename(tmp, c.PathAt(rec.Digest, rec.Seed, rec.Fidelity))
 	}
 	if err != nil {
 		os.Remove(tmp)

@@ -37,7 +37,11 @@ func (s JobState) terminal() bool {
 
 // JobStatus is the JSON status document of one job.
 type JobStatus struct {
-	ID        string   `json:"id"`
+	ID string `json:"id"`
+	// Kind distinguishes successive-halving searches ("search") from plain
+	// sweeps (the absent field), which keeps sweep status documents
+	// byte-identical to the pre-search daemon's.
+	Kind      string   `json:"kind,omitempty"`
 	State     JobState `json:"state"`
 	Points    int      `json:"points"`     // spec enumeration size
 	Records   int      `json:"records"`    // records known so far
@@ -51,11 +55,17 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 }
 
-// Job is one submitted sweep: a spec, its digest-derived identity, and the
-// growing record log that streams and frontiers read from.
+// Job is one submitted sweep or search: a spec, its digest-derived
+// identity, and the growing record log that streams and frontiers read
+// from. A search job streams every rung's records — low-fidelity proxies
+// included, distinguishable by their fidelity tag — through the same log.
 type Job struct {
 	ID   string
 	Spec dse.SweepSpec
+
+	// search, when non-nil, marks a successive-halving job (Spec is then the
+	// zero value; the search document is the sole source of truth).
+	search *dse.SearchSpec
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -82,10 +92,14 @@ func (j *Job) addRecord(r dse.Record) {
 }
 
 func (j *Job) appendLocked(r dse.Record) {
-	if j.seen[r.Digest] {
+	// The log key carries the fidelity: a search job holds both a proxy and
+	// a full-fidelity record for every survivor, and the full one must not
+	// be dropped as a duplicate.
+	key := fmt.Sprintf("%s.f%d", r.Digest, r.Fidelity)
+	if j.seen[key] {
 		return
 	}
-	j.seen[r.Digest] = true
+	j.seen[key] = true
 	j.recs = append(j.recs, r)
 	j.wakeLocked()
 }
@@ -119,6 +133,9 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{ID: j.ID, State: j.state, Points: j.points,
 		Records: len(j.recs), Evaluated: j.evaluated, CacheHits: j.cacheHits, Runs: j.runs}
+	if j.search != nil {
+		st.Kind = "search"
+	}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
@@ -261,7 +278,26 @@ func (m *Manager) Submit(spec dse.SweepSpec) (j *Job, created bool, err error) {
 	if m.cfg.Jobs > 0 && spec.Jobs <= 0 {
 		spec.Jobs = m.cfg.Jobs
 	}
-	id := spec.ID()
+	return m.admit(spec.ID(), len(spec.Points()), spec, nil)
+}
+
+// SubmitSearch admits a successive-halving search under the same admission
+// rules as Submit: idempotent by search-spec digest (shared job table, so a
+// search id answers on every job endpoint), bounded queue, revival of
+// failed or canceled runs.
+func (m *Manager) SubmitSearch(spec dse.SearchSpec) (j *Job, created bool, err error) {
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	if m.cfg.Jobs > 0 && spec.Jobs <= 0 {
+		spec.Jobs = m.cfg.Jobs
+	}
+	return m.admit(spec.ID(), len(spec.Points()), dse.SweepSpec{}, &spec)
+}
+
+// admit is the shared admission path behind Submit and SubmitSearch.
+func (m *Manager) admit(id string, points int, spec dse.SweepSpec, search *dse.SearchSpec) (j *Job, created bool, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed || m.draining {
@@ -283,8 +319,8 @@ func (m *Manager) Submit(spec dse.SweepSpec) (j *Job, created bool, err error) {
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j = &Job{
-		ID: id, Spec: spec, ctx: ctx, cancel: cancel, runs: runs,
-		state: StateQueued, points: len(spec.Points()),
+		ID: id, Spec: spec, search: search, ctx: ctx, cancel: cancel, runs: runs,
+		state: StateQueued, points: points,
 		seen: map[string]bool{}, changed: make(chan struct{}),
 	}
 	select {
@@ -311,12 +347,18 @@ func (m *Manager) runJob(j *Job) {
 		return
 	}
 	j.setState(StateRunning)
-	run := m.cfg.RunFunc
-	if run == nil {
-		run = Run
-	}
 	start := time.Now()
-	res, err := run(j.ctx, j.Spec, RunOptions{Cache: m.cfg.Cache, OnRecord: j.addRecord})
+	var res *RunResult
+	var err error
+	if j.search != nil {
+		res, err = RunSearch(j.ctx, *j.search, RunOptions{Cache: m.cfg.Cache, OnRecord: j.addRecord})
+	} else {
+		run := m.cfg.RunFunc
+		if run == nil {
+			run = Run
+		}
+		res, err = run(j.ctx, j.Spec, RunOptions{Cache: m.cfg.Cache, OnRecord: j.addRecord})
+	}
 	if err == nil {
 		m.noteCompleted(time.Since(start))
 	}

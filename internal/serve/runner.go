@@ -38,6 +38,10 @@ type RunResult struct {
 	// CacheMisses counts fresh evaluations (each published back to the
 	// cache when one is attached).
 	CacheHits, CacheMisses int
+
+	// Search carries the rung progression of a RunSearch execution; nil for
+	// plain sweeps.
+	Search *dse.SearchResult
 }
 
 // Run executes a sweep spec: validates it, points the process-wide trace
@@ -58,17 +62,24 @@ func Run(ctx context.Context, spec dse.SweepSpec, opt RunOptions) (*RunResult, e
 	res := &RunResult{}
 
 	if opt.Cache != nil {
+		var sel map[string]bool
+		if cfg.Select != nil {
+			sel = make(map[string]bool, len(cfg.Select))
+			for _, d := range cfg.Select {
+				sel[d] = true
+			}
+		}
 		seen := map[string]bool{}
 		for i, p := range points {
 			if i%cfg.Shards != cfg.Shard {
 				continue
 			}
 			key := fmt.Sprintf("%016x", p.Digest())
-			if seen[key] {
+			if seen[key] || (sel != nil && !sel[key]) {
 				continue
 			}
 			seen[key] = true
-			if rec, ok := opt.Cache.Load(key, cfg.Seed); ok {
+			if rec, ok := opt.Cache.LoadAt(key, cfg.Seed, cfg.Fidelity); ok {
 				rec.Index = i
 				cfg.Preloaded = append(cfg.Preloaded, rec)
 				res.CacheHits++
@@ -96,5 +107,39 @@ func Run(ctx context.Context, spec dse.SweepSpec, opt RunOptions) (*RunResult, e
 
 	rs, err := dse.Sweep(ctx, points, cfg)
 	res.Set = rs
+	return res, err
+}
+
+// RunSearch executes a successive-halving search spec, driving every rung
+// through Run — so the result cache (fidelity-keyed), the trace store, and
+// record streaming behave exactly as they do for plain sweeps, and a
+// resumed search adopts completed evaluations from both the checkpoint and
+// the cache. The returned result's Set is the final full-fidelity rung's
+// record set with Evaluated widened to the cross-rung fresh-simulation
+// total (so job accounting reflects the whole search); the per-rung
+// breakdown is in Search.
+func RunSearch(ctx context.Context, spec dse.SearchSpec, opt RunOptions) (*RunResult, error) {
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	res := &RunResult{}
+	sr, err := dse.Search(ctx, spec, func(ctx context.Context, sw dse.SweepSpec) (*dse.ResultSet, error) {
+		rr, rerr := Run(ctx, sw, opt)
+		if rr != nil {
+			res.CacheHits += rr.CacheHits
+			res.CacheMisses += rr.CacheMisses
+		}
+		if rr == nil {
+			return nil, rerr
+		}
+		return rr.Set, rerr
+	})
+	res.Search = sr
+	if sr != nil && sr.Final != nil {
+		set := *sr.Final
+		set.Evaluated = sr.Evaluated
+		res.Set = &set
+	}
 	return res, err
 }

@@ -21,12 +21,17 @@ const maxBodyBytes = 1 << 20
 // Server mounts the sweep-serving API over a job manager. Endpoints:
 //
 //	POST /v1/sweeps               submit a dse.SweepSpec → job status (202 new or revived, 200 existing, 429 full with a backlog-derived Retry-After)
-//	GET  /v1/sweeps/{id}          job status
+//	POST /v1/searches             submit a dse.SearchSpec (successive-halving search) under the same admission rules
+//	GET  /v1/sweeps/{id}          job status (sweep or search — one job table; /v1/searches/{id} is an alias)
 //	GET  /v1/sweeps/{id}/records  NDJSON record stream (checkpoint line format), live until the job ends; ?from=N resumes at offset N
 //	GET  /v1/sweeps/{id}/frontier live latency/energy Pareto frontier (dse.FrontierJSON)
 //	GET  /v1/backends             registered backends with option schemas
 //	POST /v1/evaluate             evaluate one point on a named backend → record
 //	GET  /healthz                 liveness; 503 "draining" once drain has begun
+//
+// A search job's record stream interleaves every rung's records;
+// low-fidelity proxy evaluations carry their "fidelity" tag, so clients that
+// want only the full-fidelity survivor records filter on its absence.
 //
 // The API is for trusted clients (it accepts filesystem attachments like
 // checkpoint paths); bind it accordingly.
@@ -56,6 +61,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.status)
 	mux.HandleFunc("GET /v1/sweeps/{id}/records", s.records)
 	mux.HandleFunc("GET /v1/sweeps/{id}/frontier", s.frontier)
+	// Searches share the sweep job table, so the GET routes are aliases —
+	// a client may fetch a search job through either path.
+	mux.HandleFunc("POST /v1/searches", s.submitSearch)
+	mux.HandleFunc("GET /v1/searches/{id}", s.status)
+	mux.HandleFunc("GET /v1/searches/{id}/records", s.records)
+	mux.HandleFunc("GET /v1/searches/{id}/frontier", s.frontier)
 	mux.HandleFunc("POST /v1/evaluate", s.evaluate)
 	return mux
 }
@@ -92,6 +103,27 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, created, err := s.mgr.Submit(spec)
+	s.admitted(w, job, created, err)
+}
+
+// submitSearch is submit for successive-halving search documents.
+func (s *Server) submitSearch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := dse.DecodeSearchSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, created, err := s.mgr.SubmitSearch(spec)
+	s.admitted(w, job, created, err)
+}
+
+// admitted maps an admission outcome onto the wire.
+func (s *Server) admitted(w http.ResponseWriter, job *Job, created bool, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Pace backoff clients by the actual backlog: queue depth × mean

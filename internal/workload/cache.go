@@ -217,8 +217,9 @@ func materializeTrace(cfg transformer.Config, sc Scenario, opt TraceOptions, see
 		// The file is internally consistent, but the key only hashes
 		// generation inputs — a foreign or hand-placed file could still
 		// describe a different model. Reject it rather than feed the
-		// simulators a trace for the wrong configuration.
-		if tr.Cfg == cfg {
+		// simulators a trace for the wrong configuration. Scaled proxy
+		// traces record the scaled T/N in Cfg, so compare against that.
+		if tr.Cfg == opt.ScaledConfig(cfg) {
 			storeHits.Add(1)
 			return tr
 		}

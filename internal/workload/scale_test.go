@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/tracefile"
+	"repro/internal/transformer"
+)
+
+// TestScaledConfig pins the trace-scale divisor arithmetic: the divisor
+// shrinks T first, then the remaining factor shrinks N, both floored at 1 —
+// so even an absurd divisor yields a simulable (1-request, 1-token) trace.
+func TestScaledConfig(t *testing.T) {
+	cfg := transformer.ModelZoo()[3]
+	for _, tc := range []struct{ scale, wantT, wantN int }{
+		{0, cfg.T, cfg.N},
+		{1, cfg.T, cfg.N},
+		{4, cfg.T / 4, cfg.N},
+		{8, cfg.T / 8, cfg.N},
+	} {
+		got := TraceOptions{Scale: tc.scale}.ScaledConfig(cfg)
+		if got.T != tc.wantT || got.N != tc.wantN {
+			t.Errorf("scale %d: T=%d N=%d want T=%d N=%d",
+				tc.scale, got.T, got.N, tc.wantT, tc.wantN)
+		}
+	}
+	// A divisor past T spills into N; one past T*N floors both at 1.
+	huge := TraceOptions{Scale: cfg.T * 4}.ScaledConfig(cfg)
+	if huge.T != 1 || huge.N != cfg.N/4 {
+		t.Errorf("scale %d: T=%d N=%d want T=1 N=%d", cfg.T*4, huge.T, huge.N, cfg.N/4)
+	}
+	floor := TraceOptions{Scale: cfg.T * cfg.N * 64}.ScaledConfig(cfg)
+	if floor.T != 1 || floor.N != 1 {
+		t.Errorf("absurd scale: T=%d N=%d want 1x1", floor.T, floor.N)
+	}
+}
+
+// TestScaleDigestStable pins the identity rule that keeps PR 4-era stores
+// valid: Scale 0 and Scale 1 are the same (full-fidelity) trace with the
+// same digest, while any real divisor is a different trace.
+func TestScaleDigestStable(t *testing.T) {
+	cfg := transformer.ModelZoo()[3]
+	sc := Scenarios()[4]
+	zero := TraceDigest(cfg, sc, TraceOptions{}, 5)
+	if TraceDigest(cfg, sc, TraceOptions{Scale: 1}, 5) != zero {
+		t.Fatal("Scale 1 must digest like the unscaled trace")
+	}
+	if TraceDigest(cfg, sc, TraceOptions{Scale: 4}, 5) == zero {
+		t.Fatal("a real trace-scale divisor must change the digest")
+	}
+	if TraceDigest(cfg, sc, TraceOptions{Scale: 4}, 5) == TraceDigest(cfg, sc, TraceOptions{Scale: 8}, 5) {
+		t.Fatal("different divisors must digest differently")
+	}
+}
+
+// TestScaledTraceShapeAndStore checks the scaled trace end to end: its
+// recorded Cfg carries the scaled dimensions (so downstream validation
+// compares like with like), it is strictly smaller than the full trace, and
+// it round-trips through the shared on-disk store under its scaled digest.
+func TestScaledTraceShapeAndStore(t *testing.T) {
+	dir := t.TempDir()
+	ResetTraceCache()
+	SetTraceDir(dir)
+	defer func() { SetTraceDir(""); ResetTraceCache() }()
+
+	cfg := transformer.ModelZoo()[3]
+	sc := Scenarios()[4]
+	opt := TraceOptions{Scale: 8}
+	scaled := CachedTrace(cfg, sc, opt, 77)
+	if scaled.Cfg.T != cfg.T/8 {
+		t.Fatalf("scaled trace Cfg.T = %d want %d", scaled.Cfg.T, cfg.T/8)
+	}
+	full := SyntheticTrace(cfg, sc, TraceOptions{}, 77)
+	if scaled.Cfg.T >= full.Cfg.T {
+		t.Fatalf("1/8-scale trace spans %d tokens, full spans %d", scaled.Cfg.T, full.Cfg.T)
+	}
+
+	st := tracefile.Store{Dir: dir}
+	key := TraceDigest(cfg, sc, opt, 77)
+	if _, err := os.Stat(st.Path(key)); err != nil {
+		t.Fatalf("scaled trace not persisted at its digest path: %v", err)
+	}
+	ResetTraceCache() // fresh process sharing the directory
+	again := CachedTrace(cfg, sc, opt, 77)
+	if h, _, e := TraceStoreStats(); h != 1 || e != 0 {
+		t.Fatalf("scaled reload: store stats hits=%d errors=%d", h, e)
+	}
+	if !reflect.DeepEqual(scaled, again) {
+		t.Fatal("scaled trace loaded from the store differs from the generated one")
+	}
+}

@@ -60,10 +60,19 @@ func Scenarios() map[int]Scenario {
 type TraceOptions struct {
 	BSA   bool         // use the BSA-trained activity statistics
 	Shape bundle.Shape // TTB volume (DefaultShape if zero)
+
+	// Scale is the multi-fidelity trace-scale divisor: a Scale of k > 1
+	// shrinks the generated trace to roughly 1/k of the full spike volume
+	// (timesteps first, then tokens — see ScaledConfig). 0 and 1 both mean
+	// full fidelity; the canonical spelling is 0, and the field is omitted
+	// from JSON when zero so full-fidelity TraceDigest values are unchanged
+	// from before the fidelity axis existed.
+	Scale int `json:",omitempty"`
 }
 
 // normalized canonicalizes the options for generation and cache keying: the
-// zero Shape means bundle.DefaultShape. Only the true zero value defaults —
+// zero Shape means bundle.DefaultShape, and Scale values of 1 or below mean
+// full fidelity (spelled 0). Only the true zero value of Shape defaults —
 // a partially specified shape (one field set, the other zero or negative)
 // has no meaning anywhere in the repo, and defaulting it would silently
 // alias distinct option values onto one generated trace, so it panics.
@@ -73,14 +82,48 @@ func (o TraceOptions) normalized() TraceOptions {
 	} else if o.Shape.BSt <= 0 || o.Shape.BSn <= 0 {
 		panic(fmt.Sprintf("workload: invalid trace shape %+v (only the zero Shape defaults)", o.Shape))
 	}
+	if o.Scale <= 1 {
+		o.Scale = 0
+	}
 	return o
+}
+
+// ScaledConfig applies the Scale divisor to a model configuration: the
+// timestep count T absorbs as much of the divisor as it can (T is the
+// cheapest axis to cut — spike statistics per timestep are i.i.d. in the
+// generator), and any remainder comes out of the token count N. Both are
+// floored at 1, so every scaled trace still exercises the full pipeline.
+// Full fidelity (Scale <= 1) returns cfg unchanged.
+func (o TraceOptions) ScaledConfig(cfg transformer.Config) transformer.Config {
+	o = o.normalized()
+	if o.Scale == 0 {
+		return cfg
+	}
+	tDiv := o.Scale
+	if tDiv > cfg.T {
+		tDiv = cfg.T
+	}
+	if tDiv > 1 {
+		cfg.T /= tDiv
+	}
+	if nDiv := o.Scale / tDiv; nDiv > 1 {
+		cfg.N /= nDiv
+		if cfg.N < 1 {
+			cfg.N = 1
+		}
+	}
+	return cfg
 }
 
 // SyntheticTrace builds a full activation trace for a Table 2 model with
 // the scenario's statistics — the drop-in replacement for a trained-model
-// forward pass that the hardware experiments consume.
+// forward pass that the hardware experiments consume. A non-trivial
+// opt.Scale generates the reduced-volume proxy trace instead (the trace's
+// Cfg records the scaled T/N, so simulators see a self-consistent model).
 func SyntheticTrace(cfg transformer.Config, sc Scenario, opt TraceOptions, seed uint64) *transformer.Trace {
-	sh := opt.normalized().Shape
+	opt = opt.normalized()
+	cfg = opt.ScaledConfig(cfg)
+	sh := opt.Shape
 	density, bd, zf := sc.Density, sc.BundleDensity, sc.ZeroFrac
 	if opt.BSA {
 		density, bd, zf = sc.DensityBSA, sc.BundleDensityBSA, sc.ZeroFracBSA
