@@ -8,7 +8,7 @@ GO ?= go
 # uploadable locations and local runs find under $(SMOKE_DIR)).
 SMOKE_DIR ?= .smoke
 
-.PHONY: build test race bench bench-json dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke search-smoke smoke-clean fmt fmt-check vet ci
+.PHONY: build test race bench bench-json dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke search-smoke smoke-clean fmt fmt-check vet lint ci
 
 build:
 	$(GO) build ./...
@@ -256,7 +256,20 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# No production code path is build-tagged today (the smokes are plain Make
+# targets), so one untagged pass covers everything `go build ./...` covers.
+# If smoke-only //go:build-tagged paths ever appear, extend this with a
+# second `$(GO) vet -tags <tag> ./...` pass so tagged code is vetted too.
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race bench dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke search-smoke
+# The repo's own static-analysis suite (internal/lint via cmd/bishoplint):
+# determinism, strict-json, atomic-publish, fsync-before-rename, and
+# closed-errors checks over every non-test package (testdata/ and vendor/
+# trees excluded, pinned by internal/lint tests). Exits nonzero on any
+# finding; deliberate exceptions need a reasoned //lint:ignore. See the
+# README "Static analysis" section.
+lint:
+	$(GO) run ./cmd/bishoplint ./...
+
+ci: build fmt-check vet lint race bench dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke search-smoke

@@ -424,7 +424,7 @@ func compactCheckpoint(path string, recs []dse.Record) error {
 	}
 	for _, rec := range recs {
 		if err := w.Append(rec); err != nil {
-			w.Close()
+			_ = w.Close() // the append error wins; the temp file is removed next
 			os.Remove(tmp)
 			return err
 		}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file   string // module-relative
+	line   int    // line the comment sits on
+	target int    // first following line that is not another directive
+	check  string
+	reason string
+	used   bool
+}
+
+// applyIgnores filters diags through the package's //lint:ignore directives
+// and appends directive-validation findings (unknown check, missing reason,
+// unused directive), reported under the "lint-directive" pseudo-check.
+//
+// A directive suppresses findings of its named check on its own line and on
+// the target line — the next line holding anything other than another
+// directive — so directives stack:
+//
+//	//lint:ignore determinism wall-clock telemetry only
+//	//lint:ignore closed-errors best-effort shutdown
+//	offendingCall()
+func applyIgnores(m *Module, pkg *Package, diags []Diagnostic) []Diagnostic {
+	valid := analyzerNames()
+	var directives []*ignoreDirective
+	var errs []Diagnostic
+
+	for _, f := range pkg.Files {
+		var lines []*ignoreDirective
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := m.Fset.Position(c.Pos())
+				d := &ignoreDirective{file: m.relFile(pos.Filename), line: pos.Line}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					errs = append(errs, Diagnostic{
+						File: d.file, Line: d.line, Col: pos.Column, Check: "lint-directive",
+						Message: "//lint:ignore needs a check name and a reason",
+					})
+					continue
+				}
+				d.check = fields[0]
+				d.reason = strings.Join(fields[1:], " ")
+				if !valid[d.check] {
+					errs = append(errs, Diagnostic{
+						File: d.file, Line: d.line, Col: pos.Column, Check: "lint-directive",
+						Message: "//lint:ignore names unknown check \"" + d.check + "\"",
+					})
+					continue
+				}
+				if d.reason == "" {
+					errs = append(errs, Diagnostic{
+						File: d.file, Line: d.line, Col: pos.Column, Check: "lint-directive",
+						Message: "//lint:ignore " + d.check + " is missing a reason",
+					})
+					continue
+				}
+				lines = append(lines, d)
+			}
+		}
+		resolveTargets(lines)
+		directives = append(directives, lines...)
+	}
+
+	var out []Diagnostic
+	for _, dg := range diags {
+		suppressed := false
+		for _, d := range directives {
+			if d.check == dg.Check && d.file == dg.File &&
+				(dg.Line == d.line || dg.Line == d.target) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, dg)
+		}
+	}
+	for _, d := range directives {
+		if !d.used {
+			out = append(out, Diagnostic{
+				File: d.file, Line: d.line, Col: 1, Check: "lint-directive",
+				Message: "unused //lint:ignore " + d.check + " directive: nothing to suppress here",
+			})
+		}
+	}
+	return append(out, errs...)
+}
+
+// resolveTargets assigns each directive the first following line that is
+// not itself a directive line, so stacked directives all cover the code
+// line beneath the stack. Directives arrive in file order.
+func resolveTargets(ds []*ignoreDirective) {
+	onDirective := make(map[int]bool, len(ds))
+	for _, d := range ds {
+		onDirective[d.line] = true
+	}
+	for _, d := range ds {
+		t := d.line + 1
+		for onDirective[t] {
+			t++
+		}
+		d.target = t
+	}
+}

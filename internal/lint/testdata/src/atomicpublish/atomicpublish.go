@@ -1,0 +1,49 @@
+// Package atomicpublish seeds violations and clean idioms for the
+// atomic-publish analyzer.
+package atomicpublish
+
+import (
+	"fmt"
+	"os"
+)
+
+func inPlaceWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os\.WriteFile writes a final path in place`
+}
+
+func inPlaceCreate(path string) (*os.File, error) {
+	return os.Create(path) // want `os\.Create writes a final path in place`
+}
+
+func truncatingOpen(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644) // want `os\.OpenFile with O_TRUNC`
+}
+
+func appendJournal(path string) (*os.File, error) {
+	// Append-mode journals (the checkpoint design) never destroy prior
+	// durable state.
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func atomicPublish(dir, final string, data []byte) error {
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, final)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("publish: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package closederrors seeds violations and clean idioms for the
+// closed-errors analyzer.
+package closederrors
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+func droppedClose(f *os.File) {
+	f.Close() // want `Close error discarded on a durable writer`
+}
+
+func droppedSync(f *os.File) {
+	f.Sync() // want `Sync error discarded on a durable writer`
+}
+
+func droppedFlush(w *bufio.Writer) {
+	w.Flush() // want `Flush error discarded on a durable writer`
+}
+
+func checkedClose(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func foldedClose(f *os.File) (err error) {
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+func deliberateDiscard(f *os.File) {
+	_ = f.Close() // explicit intent passes
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // read-path defer convention passes
+}
+
+func readSideClose(rc io.ReadCloser) {
+	rc.Close() // readers are not durable writers
+}
+
+// flusher mimics http.Flusher: Flush without an error return.
+type flusher interface{ Flush() }
+
+func errorlessFlush(fl flusher) {
+	fl.Flush() // nothing to check
+}
+
+// journal mimics a checkpoint writer: no Write method, but an error-
+// returning Append — still a durable writer.
+type journal struct{ f *os.File }
+
+func (j *journal) Append(line []byte) error {
+	_, err := j.f.Write(append(line, '\n'))
+	return err
+}
+
+func (j *journal) Close() error { return j.f.Close() }
+
+func droppedJournalClose(j *journal) {
+	j.Close() // want `Close error discarded on a durable writer`
+}

@@ -1,0 +1,111 @@
+// Package determinism seeds violations and clean idioms for the
+// determinism analyzer. Each want comment pins one expected diagnostic
+// (regexp-matched) on its line.
+package determinism
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()   // want `wall-clock time\.Now`
+	_ = time.Since(start) // want `wall-clock time\.Since`
+	_ = time.Until(start) // want `wall-clock time\.Until`
+	return 0
+}
+
+func clockInjected(now time.Time) time.Time {
+	return now.Add(time.Second) // injected timestamps are fine
+}
+
+func globalRand() int {
+	n := rand.Intn(10)                 // want `auto-seeded global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `auto-seeded global source`
+	return n
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // explicit seed: reproducible
+	return rng.Intn(10)
+}
+
+func racySelect(a, b chan int) int {
+	select { // want `select over 2 channels`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func singleCommSelect(a chan int, done chan struct{}) int {
+	select { // one comm case + default: deterministic
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func mapOrderWrite(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map`
+	}
+}
+
+func mapOrderHash(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want `h\.Write inside range over map`
+	}
+	return h.Sum64()
+}
+
+func mapOrderValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append captures values of map`
+	}
+	return out
+}
+
+func sortedKeysIdiom(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // keys-only collection: the fix, not a bug
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func sortedValuesIdiom(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // order-washed by the sort below
+	}
+	sort.Ints(out)
+	return out
+}
+
+func mapCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // map-to-map copy: order cannot leak
+	}
+	return out
+}
+
+func sliceAppend(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v) // range over slice: ordered
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+// Package fsyncrename seeds violations and clean idioms for the
+// fsync-before-rename analyzer, including sync-reachability through
+// helpers and methods.
+package fsyncrename
+
+import "os"
+
+func renameWithoutSync(tmp, final string, data []byte) error {
+	f, err := os.CreateTemp(".", ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), final) // want `os\.Rename publishes bytes that were never fsynced`
+}
+
+func renameWithDirectSync(final string, data []byte) error {
+	f, err := os.CreateTemp(".", ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), final)
+}
+
+// writeSynced is a helper that syncs; callers inherit its durability.
+func writeSynced(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func renameViaHelper(final string, data []byte) error {
+	f, err := os.CreateTemp(".", ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := writeSynced(f, data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), final)
+}
+
+// journal mimics a checkpoint writer whose Append syncs every record.
+type journal struct{ f *os.File }
+
+func (j *journal) Append(line []byte) error {
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) Close() error { return j.f.Close() }
+
+func renameViaSyncingMethod(final string, lines [][]byte) error {
+	f, err := os.CreateTemp(".", ".tmp-*")
+	if err != nil {
+		return err
+	}
+	j := &journal{f: f}
+	for _, l := range lines {
+		if err := j.Append(l); err != nil {
+			return err
+		}
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), final)
+}
+
+func syncAfterRename(tmp, final string) error {
+	f, err := os.Open(tmp)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := os.Rename(tmp, final); err != nil { // want `os\.Rename publishes bytes that were never fsynced`
+		return err
+	}
+	return f.Sync() // too late: the name is already published
+}

@@ -1,0 +1,46 @@
+// Package ignore exercises the //lint:ignore escape hatch end to end:
+// suppression on the same line and from the line above, stacked
+// directives, and the three directive errors (unknown check, missing
+// reason, unused directive). Expectations live in the harness
+// (TestIgnoreDirectives) because a trailing comment on a directive line
+// would be parsed as part of the directive's reason.
+package ignore
+
+import (
+	"encoding/json"
+	"time"
+)
+
+func suppressedInline() time.Time {
+	return time.Now() //lint:ignore determinism testdata fixture exercising same-line suppression
+}
+
+func suppressedFromAbove(data []byte) error {
+	var v any
+	//lint:ignore strict-json testdata fixture exercising line-above suppression
+	return json.Unmarshal(data, &v)
+}
+
+func stackedDirectives(data []byte) any {
+	var v any
+	//lint:ignore determinism testdata fixture exercising stacked directives
+	//lint:ignore strict-json testdata fixture exercising stacked directives
+	_, _ = time.Now(), json.Unmarshal(data, &v)
+	return v
+}
+
+func unknownCheck() time.Time {
+	//lint:ignore no-such-check the check name is not in the suite
+	return time.Now()
+}
+
+func missingReason(data []byte) error {
+	var v any
+	//lint:ignore strict-json
+	return json.Unmarshal(data, &v)
+}
+
+func unusedDirective() int {
+	//lint:ignore determinism nothing on the next line triggers this
+	return 42
+}

@@ -1,0 +1,60 @@
+// Package strictjson seeds violations and clean idioms for the strict-json
+// analyzer.
+package strictjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+type doc struct {
+	Name string `json:"name"`
+}
+
+func rawUnmarshal(data []byte) (doc, error) {
+	var d doc
+	err := json.Unmarshal(data, &d) // want `raw json\.Unmarshal tolerates unknown fields`
+	return d, err
+}
+
+func lenientDecoder(data []byte) (doc, error) {
+	var d doc
+	dec := json.NewDecoder(bytes.NewReader(data)) // want `json\.NewDecoder without DisallowUnknownFields`
+	err := dec.Decode(&d)
+	return d, err
+}
+
+func strictDecoder(data []byte) (doc, error) {
+	var d doc
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return doc{}, err
+	}
+	if dec.More() {
+		return doc{}, fmt.Errorf("trailing data")
+	}
+	return d, nil
+}
+
+func tokenStream(data []byte) ([]string, error) {
+	// Token streaming surfaces every field to the caller; nothing can be
+	// dropped silently, so it needs no DisallowUnknownFields.
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var fields []string
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		if s, ok := tok.(string); ok {
+			fields = append(fields, s)
+		}
+	}
+	return fields, nil
+}
+
+func encodeSide(d doc) ([]byte, error) {
+	return json.Marshal(d) // encoding is not a strictness hazard
+}

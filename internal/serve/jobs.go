@@ -347,6 +347,7 @@ func (m *Manager) runJob(j *Job) {
 		return
 	}
 	j.setState(StateRunning)
+	//lint:ignore determinism job wall-clock telemetry feeding Retry-After backlog estimates; never reaches records or digests
 	start := time.Now()
 	var res *RunResult
 	var err error
@@ -360,6 +361,7 @@ func (m *Manager) runJob(j *Job) {
 		res, err = run(j.ctx, j.Spec, RunOptions{Cache: m.cfg.Cache, OnRecord: j.addRecord})
 	}
 	if err == nil {
+		//lint:ignore determinism job wall-clock telemetry feeding Retry-After backlog estimates; never reaches records or digests
 		m.noteCompleted(time.Since(start))
 	}
 	j.finish(res, err)

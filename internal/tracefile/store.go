@@ -19,6 +19,7 @@ const Ext = ".btrc"
 // digest. It writes in place; use Store.Save for atomic, concurrency-safe
 // publication.
 func WriteFile(path string, tr *transformer.Trace) (uint64, error) {
+	//lint:ignore atomic-publish documented in-place single-file export API (cmd/trace pack -o); digest-addressed publication goes through Store.Save's temp+rename
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, fmt.Errorf("tracefile: %w", err)
