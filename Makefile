@@ -8,7 +8,7 @@ GO ?= go
 # uploadable locations and local runs find under $(SMOKE_DIR)).
 SMOKE_DIR ?= .smoke
 
-.PHONY: build test race bench bench-json dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke search-smoke smoke-clean fmt fmt-check vet lint ci
+.PHONY: build test race bench bench-json bench-gate bench-baseline dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke search-smoke smoke-clean fmt fmt-check vet lint ci
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,13 @@ build:
 test:
 	$(GO) test ./...
 
+# Full suite twice under the race detector: once with the default SIMD
+# kernel dispatch and once with BISHOP_NOSIMD=1 forcing the portable Go
+# kernels, so both halves of every dispatched code path stay race-free and
+# bit-identical in CI.
 race:
 	$(GO) test -race ./...
+	BISHOP_NOSIMD=1 $(GO) test -race ./...
 
 # One iteration per benchmark: regenerates every paper artifact as a smoke
 # run. Use `$(GO) test -bench=. -benchmem` for real measurements.
@@ -28,12 +33,57 @@ bench:
 # per line) for trajectory tracking: compare BENCH_*.json files across
 # commits with any JSON tooling. BENCH_OUT overrides the output path.
 BENCH_OUT ?= BENCH_$(shell git rev-parse --short HEAD 2>/dev/null || echo local).json
-# On failure the tail of the event stream (which contains the FAIL events
-# and panic traces) is echoed so the cause is visible in the CI log.
+# The stream is written to a temp file and renamed into place only on
+# success, so a failed or interrupted run never leaves a torn $(BENCH_OUT)
+# behind for trajectory tooling to trip over. On failure the tail of the
+# stream (which contains the FAIL events and panic traces) is echoed so the
+# cause is visible in the CI log.
 bench-json:
-	@$(GO) test -json -run='^$$' -bench=. -benchtime=1x ./... > $(BENCH_OUT) || \
-		{ echo "bench-json failed; last events:" >&2; tail -60 $(BENCH_OUT) >&2; exit 1; }
+	@$(GO) test -json -run='^$$' -bench=. -benchtime=1x ./... > $(BENCH_OUT).tmp || \
+		{ echo "bench-json failed; last events:" >&2; tail -60 $(BENCH_OUT).tmp >&2; \
+		  rm -f $(BENCH_OUT).tmp; exit 1; }
+	@mv $(BENCH_OUT).tmp $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
+
+# Benchmark-regression gate (cmd/benchdiff): re-measure the hot-path
+# benchmarks — SIMD kernel dispatch, spike-driven GEMM, steady-state
+# simulator — with -count=$(BENCH_GATE_COUNT) and compare against the
+# committed baseline, failing on >10% ns/op growth or any allocs/op growth.
+# benchdiff takes the minimum across the repeated counts (noise floor) and
+# -normalize divides out machine-speed differences through the pure-Go
+# kernel reference, so the gate tracks code, not hosts. Refresh the
+# baseline with `make bench-baseline` whenever a change intentionally
+# shifts these numbers (or adds/renames a gated benchmark) and commit the
+# result alongside the change.
+BENCH_BASELINE ?= bench/baseline.json
+BENCH_GATE_PKGS = ./internal/spike ./internal/snn ./internal/accel
+# min-of-5: the AVX-512 kernels speed up over the first few runs as the
+# core's vector-frequency license warms, so too few counts under-reports
+# the steady-state floor and flags phantom regressions.
+BENCH_GATE_COUNT ?= 5
+# Time-based samples: 100ms of iterations per measurement keeps the
+# fast (~250ns) kernels far above the timer noise floor that fixed small
+# iteration counts would sit in, while the multi-ms simulator benchmark
+# still finishes promptly.
+BENCH_GATE_SEL = -run='^$$' -bench='Kernel|Dispatched|LinearForwardSpikes|SimulatorSteadyState' \
+	-benchtime=100ms -count=$(BENCH_GATE_COUNT) -benchmem
+# The reference tolerates go test's -GOMAXPROCS name suffix, so the bare
+# name works on any host.
+BENCH_NORMALIZE ?= BenchmarkKernelCount/go
+bench-gate:
+	@mkdir -p $(SMOKE_DIR)
+	@$(GO) test -json $(BENCH_GATE_SEL) $(BENCH_GATE_PKGS) > $(SMOKE_DIR)/bench-head.json || \
+		{ echo "bench-gate measurement failed; last events:" >&2; \
+		  tail -40 $(SMOKE_DIR)/bench-head.json >&2; exit 1; }
+	$(GO) run ./cmd/benchdiff -threshold 0.10 -normalize '$(BENCH_NORMALIZE)' \
+		$(BENCH_BASELINE) $(SMOKE_DIR)/bench-head.json
+
+bench-baseline:
+	@mkdir -p $(dir $(BENCH_BASELINE))
+	@$(GO) test -json $(BENCH_GATE_SEL) $(BENCH_GATE_PKGS) > $(BENCH_BASELINE).tmp || \
+		{ echo "bench-baseline measurement failed" >&2; rm -f $(BENCH_BASELINE).tmp; exit 1; }
+	@mv $(BENCH_BASELINE).tmp $(BENCH_BASELINE)
+	@echo "wrote $(BENCH_BASELINE)"
 
 # Tiny end-to-end DSE sweep (2 shapes x 2 ECP settings) through cmd/dse:
 # exercises sweep -> checkpoint -> frontier and fails if the frontier JSON
@@ -256,12 +306,16 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# No production code path is build-tagged today (the smokes are plain Make
-# targets), so one untagged pass covers everything `go build ./...` covers.
-# If smoke-only //go:build-tagged paths ever appear, extend this with a
-# second `$(GO) vet -tags <tag> ./...` pass so tagged code is vetted too.
+# The SIMD kernel dispatch layer (internal/cpuid, internal/spike's
+# kernels_*.go/.s) is the one build-gated production path: its stubs and
+# assembly only compile on their GOARCH. The second pass cross-vets the
+# arm64 variant from any host (asmdecl checks the NEON stubs' frame
+# offsets), so linux/amd64 CI still vets every line. No other production
+# path is //go:build-tagged; if smoke-only tags ever appear, add a
+# `$(GO) vet -tags <tag> ./...` pass here too.
 vet:
 	$(GO) vet ./...
+	GOARCH=arm64 $(GO) vet ./...
 
 # The repo's own static-analysis suite (internal/lint via cmd/bishoplint):
 # determinism, strict-json, atomic-publish, fsync-before-rename, and
@@ -272,4 +326,4 @@ vet:
 lint:
 	$(GO) run ./cmd/bishoplint ./...
 
-ci: build fmt-check vet lint race bench dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke search-smoke
+ci: build fmt-check vet lint race bench bench-gate dse-smoke backend-smoke trace-smoke serve-smoke fleet-smoke search-smoke

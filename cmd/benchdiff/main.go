@@ -1,0 +1,120 @@
+// Command benchdiff compares two benchmark runs and exits nonzero on
+// regression — the CI gate behind `make bench-gate`.
+//
+// Usage:
+//
+//	benchdiff [flags] BASE HEAD
+//
+// BASE and HEAD are benchmark streams: either the test2json event files
+// `make bench-json` writes or plain `go test -bench` text. Repeated
+// measurements of one benchmark (-count=N) are denoised by taking the
+// minimum before comparison.
+//
+// Flags:
+//
+//	-threshold F        tolerated fractional ns/op growth (default 0.10)
+//	-alloc-threshold F  tolerated fractional allocs/op growth (default 0;
+//	                    growth below one whole alloc/op never trips)
+//	-normalize NAME     calibrate machine speed: divide every ns/op ratio
+//	                    by NAME's ratio (a stable pure-Go benchmark
+//	                    present in both streams)
+//	-allow-missing      benchmarks present in BASE but absent from HEAD
+//	                    only warn instead of failing (lost gate coverage
+//	                    is otherwise an error so renames force a baseline
+//	                    refresh in the same change)
+//	-v                  list every compared benchmark, not just regressions
+//
+// Exit status: 0 clean, 1 regression (or lost coverage), 2 usage or parse
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchcmp"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "tolerated fractional ns/op growth")
+	allocThreshold := flag.Float64("alloc-threshold", 0, "tolerated fractional allocs/op growth")
+	normalize := flag.String("normalize", "", "benchmark name used to calibrate machine speed")
+	allowMissing := flag.Bool("allow-missing", false, "missing benchmarks warn instead of failing")
+	verbose := flag.Bool("v", false, "list every compared benchmark")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] BASE HEAD")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	base, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	head, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := benchcmp.Compare(base, head, benchcmp.Thresholds{
+		NsFrac:    *threshold,
+		AllocFrac: *allocThreshold,
+	}, *normalize)
+	if err != nil {
+		fatal(err)
+	}
+
+	if rep.NormalizeRef != "" {
+		fmt.Printf("benchdiff: normalized by %s (scale %.3f)\n", rep.NormalizeRef, rep.Scale)
+	}
+	if *verbose {
+		for _, d := range rep.Deltas {
+			fmt.Printf("  %-60s %10.0f -> %10.0f ns/op (%+.1f%%)\n",
+				d.Key, d.Base.NsPerOp, d.Head.NsPerOp*rep.Scale, (d.NsRatio-1)*100)
+		}
+	}
+	for _, k := range rep.NewKeys {
+		fmt.Printf("benchdiff: new (not in baseline): %s\n", k)
+	}
+
+	failed := false
+	for _, k := range rep.MissingKeys {
+		if *allowMissing {
+			fmt.Printf("benchdiff: warning: missing from head: %s\n", k)
+		} else {
+			fmt.Printf("benchdiff: FAIL: missing from head (lost gate coverage): %s\n", k)
+			failed = true
+		}
+	}
+	for _, d := range rep.Regressions() {
+		fmt.Printf("benchdiff: FAIL: %s: %s\n", d.Key, d.Reason)
+		failed = true
+	}
+	fmt.Printf("benchdiff: %d benchmarks compared, %d regressions, %d missing, %d new\n",
+		len(rep.Deltas), len(rep.Regressions()), len(rep.MissingKeys), len(rep.NewKeys))
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func parseFile(path string) (map[string]benchcmp.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := benchcmp.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return m, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

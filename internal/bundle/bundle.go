@@ -12,10 +12,24 @@ package bundle
 import (
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"repro/internal/spike"
 )
+
+// resizeInts returns dst resized to n zeroed elements, reusing its backing
+// array when the capacity allows — the shared scratch idiom of the Into
+// variants below.
+func resizeInts(dst []int, n int) []int {
+	if cap(dst) < n {
+		return make([]int, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
+}
 
 // Shape is the TTB bundle volume: BSt time points × BSn tokens (Fig. 4).
 type Shape struct {
@@ -51,11 +65,20 @@ type Tags struct {
 // one bundle row, so every set bit increments one tag — O(words + spikes)
 // rather than O(T·N·D) bounds-checked Gets.
 func Tag(s *spike.Tensor, sh Shape) *Tags {
+	tg := &Tags{}
+	tg.Retag(s, sh)
+	return tg
+}
+
+// Retag recomputes the tags of s into tg, reusing the Counts buffer when
+// its capacity suffices. It is the zero-alloc form of Tag for steady-state
+// simulation loops.
+func (tg *Tags) Retag(s *spike.Tensor, sh Shape) {
 	sh.validate()
 	nbt := (s.T + sh.BSt - 1) / sh.BSt
 	nbn := (s.N + sh.BSn - 1) / sh.BSn
-	tg := &Tags{Shape: sh, T: s.T, N: s.N, D: s.D, NBt: nbt, NBn: nbn,
-		Counts: make([]int, nbt*nbn*s.D)}
+	tg.Shape, tg.T, tg.N, tg.D, tg.NBt, tg.NBn = sh, s.T, s.N, s.D, nbt, nbn
+	tg.Counts = resizeInts(tg.Counts, nbt*nbn*s.D)
 	for t := 0; t < s.T; t++ {
 		btBase := (t / sh.BSt) * nbn
 		for n := 0; n < s.N; n++ {
@@ -69,7 +92,6 @@ func Tag(s *spike.Tensor, sh Shape) *Tags {
 			}
 		}
 	}
-	return tg
 }
 
 // Count returns the L0 tag of bundle (bt, bn, d).
@@ -114,7 +136,13 @@ func (tg *Tags) SpikeCount() int {
 // in its column. This is the per-feature statistic histogrammed in Fig. 5
 // and the column sparsity Alg. 1 thresholds on.
 func (tg *Tags) ActivePerFeature() []int {
-	out := make([]int, tg.D)
+	return tg.ActivePerFeatureInto(nil)
+}
+
+// ActivePerFeatureInto is ActivePerFeature writing into dst (resized and
+// reused when capacity allows).
+func (tg *Tags) ActivePerFeatureInto(dst []int) []int {
+	out := resizeInts(dst, tg.D)
 	for b := 0; b < tg.NBt*tg.NBn; b++ {
 		base := b * tg.D
 		for d := 0; d < tg.D; d++ {
@@ -128,7 +156,13 @@ func (tg *Tags) ActivePerFeature() []int {
 
 // SpikesPerFeature returns the raw spike count per feature column.
 func (tg *Tags) SpikesPerFeature() []int {
-	out := make([]int, tg.D)
+	return tg.SpikesPerFeatureInto(nil)
+}
+
+// SpikesPerFeatureInto is SpikesPerFeature writing into dst (resized and
+// reused when capacity allows).
+func (tg *Tags) SpikesPerFeatureInto(dst []int) []int {
+	out := resizeInts(dst, tg.D)
 	for b := 0; b < tg.NBt*tg.NBn; b++ {
 		base := b * tg.D
 		for d := 0; d < tg.D; d++ {
@@ -142,7 +176,13 @@ func (tg *Tags) SpikesPerFeature() []int {
 // features whose bundle in that row is active. This is the quantity ECP
 // compares against the pruning threshold θ_p (§5.1).
 func (tg *Tags) ActivePerRow() []int {
-	out := make([]int, tg.NBt*tg.NBn)
+	return tg.ActivePerRowInto(nil)
+}
+
+// ActivePerRowInto is ActivePerRow writing into dst (resized and reused
+// when capacity allows).
+func (tg *Tags) ActivePerRowInto(dst []int) []int {
+	out := resizeInts(dst, tg.NBt*tg.NBn)
 	for b := range out {
 		base := b * tg.D
 		for d := 0; d < tg.D; d++ {
@@ -201,24 +241,40 @@ type StratifyResult struct {
 	BundlesPerFeat int // total bundles per feature column
 }
 
+// StratifyScratch holds the per-feature working buffers of the stratifier
+// so steady-state simulation loops can run it without allocating.
+type StratifyScratch struct {
+	active, spikes, sorted []int
+}
+
 // Stratify implements Alg. 1: feature i goes to the dense set when its
 // column's active-bundle count exceeds θ_s, otherwise to the sparse set.
 func Stratify(tg *Tags, theta int) StratifyResult {
-	res := StratifyResult{Theta: theta, BundlesPerFeat: tg.NBt * tg.NBn}
-	active := tg.ActivePerFeature()
-	spikes := tg.SpikesPerFeature()
+	var res StratifyResult
+	StratifyInto(tg, theta, &StratifyScratch{}, &res)
+	return res
+}
+
+// StratifyInto is Stratify reusing the scratch buffers and the index
+// slices already held by res.
+func StratifyInto(tg *Tags, theta int, sc *StratifyScratch, res *StratifyResult) {
+	*res = StratifyResult{
+		Theta: theta, BundlesPerFeat: tg.NBt * tg.NBn,
+		Dense: res.Dense[:0], Sparse: res.Sparse[:0],
+	}
+	sc.active = tg.ActivePerFeatureInto(sc.active)
+	sc.spikes = tg.SpikesPerFeatureInto(sc.spikes)
 	for d := 0; d < tg.D; d++ {
-		if active[d] > theta {
+		if sc.active[d] > theta {
 			res.Dense = append(res.Dense, d)
-			res.DenseSpikes += spikes[d]
-			res.DenseBundles += active[d]
+			res.DenseSpikes += sc.spikes[d]
+			res.DenseBundles += sc.active[d]
 		} else {
 			res.Sparse = append(res.Sparse, d)
-			res.SparseSpikes += spikes[d]
-			res.SparseBundles += active[d]
+			res.SparseSpikes += sc.spikes[d]
+			res.SparseBundles += sc.active[d]
 		}
 	}
-	return res
 }
 
 // DenseFraction returns the fraction of features routed to the dense core.
@@ -251,18 +307,28 @@ func (r StratifyResult) SparseDensity() float64 {
 // of the features to the dense core — the per-layer balancing strategy of
 // §6.5.1 — and returns the resulting stratification.
 func StratifyForSplit(tg *Tags, targetDenseFrac float64) StratifyResult {
-	active := tg.ActivePerFeature()
-	sorted := append([]int(nil), active...)
-	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
-	k := int(targetDenseFrac*float64(len(sorted)) + 0.5)
+	var res StratifyResult
+	StratifyForSplitInto(tg, targetDenseFrac, &StratifyScratch{}, &res)
+	return res
+}
+
+// StratifyForSplitInto is StratifyForSplit reusing scratch buffers. The
+// per-feature counts are sorted ascending (a non-boxing slices.Sort) and
+// indexed from the top, which selects the exact θ of the descending-order
+// formulation: the k-th most active feature's count sits at sorted[len-k].
+func StratifyForSplitInto(tg *Tags, targetDenseFrac float64, sc *StratifyScratch, res *StratifyResult) {
+	sc.sorted = tg.ActivePerFeatureInto(sc.sorted)
+	slices.Sort(sc.sorted)
+	n := len(sc.sorted)
+	k := int(targetDenseFrac*float64(n) + 0.5)
 	var theta int
 	switch {
 	case k <= 0:
-		theta = sorted[0] // nothing dense
-	case k >= len(sorted):
+		theta = sc.sorted[n-1] // nothing dense
+	case k >= n:
 		theta = -1 // everything dense
 	default:
-		theta = sorted[k-1] - 1
+		theta = sc.sorted[n-k] - 1
 		if theta < 0 {
 			// Zero-activity feature columns never justify dense-core slots:
 			// keep them on the sparse side even when the target asks for
@@ -270,5 +336,5 @@ func StratifyForSplit(tg *Tags, targetDenseFrac float64) StratifyResult {
 			theta = 0
 		}
 	}
-	return Stratify(tg, theta)
+	StratifyInto(tg, theta, sc, res)
 }

@@ -1,0 +1,31 @@
+// Package cpuid detects, once at startup, the SIMD capabilities of the host
+// CPU that the spike kernels can dispatch to. It is stdlib-only: on amd64 it
+// executes the CPUID and XGETBV instructions directly (no cgo, no x/sys), on
+// arm64 NEON is architecturally guaranteed, and every other GOARCH reports
+// no SIMD at all — the pure-Go word kernels remain the portable fallback.
+//
+// Detection covers both the instruction-set bit and, on amd64, the OS
+// support bit (XCR0 via XGETBV): an AVX2 kernel must not run unless the
+// kernel preserves the YMM state across context switches, and likewise for
+// the ZMM/opmask state of AVX-512.
+package cpuid
+
+// Features is the set of SIMD capabilities relevant to the spike kernels.
+type Features struct {
+	// AVX2 means the 256-bit integer ISA is present and the OS saves the
+	// YMM state (CPUID.7.0:EBX[5] + OSXSAVE + XCR0[2:1] = 11).
+	AVX2 bool
+	// AVX512VPOPCNTDQ means the VPOPCNTQ/VPOPCNTD instructions are present
+	// along with AVX-512F and full ZMM state support (XCR0[7:5] = 111).
+	AVX512VPOPCNTDQ bool
+	// NEON means the AArch64 Advanced SIMD unit is available (always true
+	// on arm64: AdvSIMD is mandatory in the base A64 profile).
+	NEON bool
+}
+
+// hostFeatures is filled in by the per-GOARCH detect() at package init.
+var hostFeatures = detect()
+
+// Host returns the detected features of this machine. The value is computed
+// once at package initialization and never changes.
+func Host() Features { return hostFeatures }

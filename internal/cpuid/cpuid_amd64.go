@@ -1,0 +1,53 @@
+package cpuid
+
+// cpuid executes CPUID with the given leaf (EAX) and subleaf (ECX).
+//
+//go:noescape
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0), which encodes the
+// register state the OS saves on context switch. Only valid when
+// CPUID.1:ECX[27] (OSXSAVE) is set.
+//
+//go:noescape
+func xgetbv() (eax, edx uint32)
+
+const (
+	// CPUID.1:ECX
+	bitOSXSAVE = 1 << 27
+	bitAVX     = 1 << 28
+
+	// CPUID.7.0:EBX
+	bitAVX2    = 1 << 5
+	bitAVX512F = 1 << 16
+
+	// CPUID.7.0:ECX
+	bitVPOPCNTDQ = 1 << 14
+
+	// XCR0
+	xcr0SSE    = 1 << 1
+	xcr0AVX    = 1 << 2
+	xcr0Opmask = 1 << 5
+	xcr0ZMMHi  = 1 << 6
+	xcr0Hi16   = 1 << 7
+)
+
+func detect() Features {
+	var f Features
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return f
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&bitOSXSAVE == 0 || ecx1&bitAVX == 0 {
+		return f
+	}
+	xlo, _ := xgetbv()
+	ymmOS := xlo&(xcr0SSE|xcr0AVX) == xcr0SSE|xcr0AVX
+	zmmOS := ymmOS && xlo&(xcr0Opmask|xcr0ZMMHi|xcr0Hi16) == xcr0Opmask|xcr0ZMMHi|xcr0Hi16
+
+	_, ebx7, ecx7, _ := cpuid(7, 0)
+	f.AVX2 = ymmOS && ebx7&bitAVX2 != 0
+	f.AVX512VPOPCNTDQ = zmmOS && ebx7&bitAVX512F != 0 && ecx7&bitVPOPCNTDQ != 0
+	return f
+}

@@ -1,0 +1,6 @@
+package cpuid
+
+// AdvSIMD (NEON) is a mandatory part of the AArch64 base profile, so no
+// probing is needed: every arm64 Go target can execute the CNT/ADDV
+// kernels.
+func detect() Features { return Features{NEON: true} }

@@ -1,0 +1,7 @@
+//go:build !amd64 && !arm64
+
+package cpuid
+
+// No SIMD kernels exist for this GOARCH; the pure-Go word kernels carry the
+// load.
+func detect() Features { return Features{} }

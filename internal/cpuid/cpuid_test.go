@@ -1,0 +1,74 @@
+package cpuid
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestHostIsStable pins that detection runs once: repeated calls return the
+// same value (the kernels capture it at init and must never see it change).
+func TestHostIsStable(t *testing.T) {
+	a, b := Host(), Host()
+	if a != b {
+		t.Fatalf("Host() changed between calls: %+v vs %+v", a, b)
+	}
+}
+
+// TestFeatureImplications pins the architectural invariants the dispatch
+// layer relies on: VPOPCNTDQ support implies AVX2-class OS state support
+// (the XCR0 checks nest), and NEON is reported exactly on arm64.
+func TestFeatureImplications(t *testing.T) {
+	f := Host()
+	if f.AVX512VPOPCNTDQ && !f.AVX2 {
+		// XCR0 ZMM support requires YMM support, and every VPOPCNTDQ part
+		// implements AVX2; a report violating this means detect() is wrong.
+		t.Fatalf("AVX512VPOPCNTDQ without AVX2: %+v", f)
+	}
+	if (runtime.GOARCH == "arm64") != f.NEON {
+		t.Fatalf("NEON = %v on GOARCH %s", f.NEON, runtime.GOARCH)
+	}
+	if runtime.GOARCH != "amd64" && (f.AVX2 || f.AVX512VPOPCNTDQ) {
+		t.Fatalf("x86 features on GOARCH %s: %+v", runtime.GOARCH, f)
+	}
+}
+
+// TestAgainstProcCPUInfo cross-checks the CPUID probe against the kernel's
+// own view when /proc/cpuinfo is available (Linux). A flag the kernel
+// advertises must be detected, and vice versa — this catches both a broken
+// CPUID path and a missing XGETBV gate.
+func TestAgainstProcCPUInfo(t *testing.T) {
+	if runtime.GOOS != "linux" || runtime.GOARCH != "amd64" {
+		t.Skip("cpuinfo cross-check is linux/amd64 only")
+	}
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		t.Skipf("reading /proc/cpuinfo: %v", err)
+	}
+	flagsLine := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "flags") {
+			flagsLine = line
+			break
+		}
+	}
+	if flagsLine == "" {
+		t.Skip("no flags line in /proc/cpuinfo")
+	}
+	has := func(flag string) bool {
+		for _, f := range strings.Fields(flagsLine) {
+			if f == flag {
+				return true
+			}
+		}
+		return false
+	}
+	f := Host()
+	if got, want := f.AVX2, has("avx2"); got != want {
+		t.Errorf("AVX2 = %v, /proc/cpuinfo says %v", got, want)
+	}
+	if got, want := f.AVX512VPOPCNTDQ, has("avx512_vpopcntdq"); got != want {
+		t.Errorf("AVX512VPOPCNTDQ = %v, /proc/cpuinfo says %v", got, want)
+	}
+}

@@ -10,16 +10,23 @@ type ModuleBudget struct {
 	AreaMM2 float64
 }
 
+// bishopBreakdown is the canonical module table; BishopBreakdown hands out
+// copies, and the hot PowerOf lookup walks it directly so per-layer
+// simulation charges no allocations.
+var bishopBreakdown = []ModuleBudget{
+	{Name: "TTB sparse core", PowerMW: 72.2, AreaMM2: 0.38},
+	{Name: "TTB dense core", PowerMW: 246.1, AreaMM2: 0.92},
+	{Name: "TTB attention core", PowerMW: 242.51, AreaMM2: 1.06},
+	{Name: "Spike generator", PowerMW: 18.1, AreaMM2: 0.09},
+	{Name: "GLBs", PowerMW: 48.3, AreaMM2: 0.495},
+}
+
 // BishopBreakdown returns the per-module area/power budgets of the Bishop
 // accelerator (total die 2.96 mm², peak 627 mW).
 func BishopBreakdown() []ModuleBudget {
-	return []ModuleBudget{
-		{Name: "TTB sparse core", PowerMW: 72.2, AreaMM2: 0.38},
-		{Name: "TTB dense core", PowerMW: 246.1, AreaMM2: 0.92},
-		{Name: "TTB attention core", PowerMW: 242.51, AreaMM2: 1.06},
-		{Name: "Spike generator", PowerMW: 18.1, AreaMM2: 0.09},
-		{Name: "GLBs", PowerMW: 48.3, AreaMM2: 0.495},
-	}
+	out := make([]ModuleBudget, len(bishopBreakdown))
+	copy(out, bishopBreakdown)
+	return out
 }
 
 // BishopTotalPowerMW is the synthesized peak power of Bishop (§6.1).
@@ -38,7 +45,7 @@ const (
 // PowerOf returns the peak power (W) of the named module, or the total if
 // the name is unknown.
 func PowerOf(name string) float64 {
-	for _, m := range BishopBreakdown() {
+	for _, m := range bishopBreakdown {
 		if m.Name == name {
 			return m.PowerMW * 1e-3
 		}

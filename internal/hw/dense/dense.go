@@ -54,13 +54,9 @@ func Simulate(t hw.Tech, arr hw.ArrayConfig, st hw.LinearStats) hw.Result {
 	// and activation traffic (memory.PipelineCycles); the output writeback
 	// drains with the last tile.
 	dram := st.WeightDRAMBytes() + st.ActivationDRAMBytes() + st.OutputDRAMBytes()
-	tiles := make([]memory.Tile, nColTiles)
 	perTileLoad := hw.CeilDiv(st.WeightDRAMBytes()+st.ActivationDRAMBytes(), nColTiles)
 	perTileCompute := hw.CeilDiv(computeCycles, nColTiles)
-	for i := range tiles {
-		tiles[i] = memory.Tile{ComputeCycles: perTileCompute, LoadBytes: perTileLoad}
-	}
-	r.Cycles = memory.PipelineCycles(t, tiles)
+	r.Cycles = memory.UniformPipelineCycles(t, nColTiles, perTileCompute, perTileLoad)
 	if drain := hw.CeilDiv(st.OutputDRAMBytes(), int64(t.DRAMBytesPerCycle())); drain > perTileCompute {
 		r.Cycles += drain - perTileCompute
 	}

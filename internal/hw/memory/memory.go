@@ -51,6 +51,23 @@ func PipelineCycles(t hw.Tech, tiles []Tile) int64 {
 	return total
 }
 
+// UniformPipelineCycles is PipelineCycles for n identical tiles without
+// materializing the slice: the fill load, then n-1 steps of
+// max(compute, load), then the final tile's compute (nothing left to
+// prefetch under it). Bit-identical to PipelineCycles over n copies of
+// {computeCycles, loadBytes}.
+func UniformPipelineCycles(t hw.Tech, n, computeCycles, loadBytes int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	load := hw.CeilDiv(loadBytes, int64(t.DRAMBytesPerCycle()))
+	step := computeCycles
+	if load > step {
+		step = load
+	}
+	return load + (n-1)*step + computeCycles
+}
+
 // SpillFactor returns the DRAM traffic amplification for a working set
 // that is re-walked `passes` times by the dataflow: 1 when the set fits in
 // the (double-buffered) capacity and stays resident, otherwise the full

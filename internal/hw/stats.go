@@ -27,16 +27,24 @@ type LinearStats struct {
 // NewLinearStats extracts the statistics of a projection/MLP layer with
 // binary input in and a DIn×DOut weight matrix, bundled under sh.
 func NewLinearStats(in *spike.Tensor, dout int, sh bundle.Shape) LinearStats {
-	tg := bundle.Tag(in, sh)
-	st := LinearStats{
-		T: in.T, N: in.N, DIn: in.D, DOut: dout, Shape: sh,
-		B:                tg.NBt * tg.NBn,
-		ActivePerFeature: tg.ActivePerFeature(),
-		SpikesPerFeature: tg.SpikesPerFeature(),
-		TotalSpikes:      in.Count(),
-		ActiveBundles:    tg.ActiveBundles(),
-	}
-	st.MaxSpikesPerBundle = make([]int, in.D)
+	var st LinearStats
+	st.Reset(in, dout, sh, &bundle.Tags{})
+	return st
+}
+
+// Reset recomputes st for a new workload, reusing both its own per-feature
+// slices and the caller-held tag scratch — the zero-alloc form of
+// NewLinearStats for steady-state simulation loops. tg is left holding the
+// computed tags (callers feed it to the stratifier).
+func (st *LinearStats) Reset(in *spike.Tensor, dout int, sh bundle.Shape, tg *bundle.Tags) {
+	tg.Retag(in, sh)
+	st.T, st.N, st.DIn, st.DOut, st.Shape = in.T, in.N, in.D, dout, sh
+	st.B = tg.NBt * tg.NBn
+	st.ActivePerFeature = tg.ActivePerFeatureInto(st.ActivePerFeature)
+	st.SpikesPerFeature = tg.SpikesPerFeatureInto(st.SpikesPerFeature)
+	st.TotalSpikes = in.Count()
+	st.ActiveBundles = tg.ActiveBundles()
+	st.MaxSpikesPerBundle = resizeInts(st.MaxSpikesPerBundle, in.D)
 	for b := 0; b < st.B; b++ {
 		base := b * in.D
 		for d := 0; d < in.D; d++ {
@@ -45,29 +53,51 @@ func NewLinearStats(in *spike.Tensor, dout int, sh bundle.Shape) LinearStats {
 			}
 		}
 	}
-	return st
+}
+
+// resizeInts returns dst resized to n zeroed elements, reusing its backing
+// array when the capacity allows.
+func resizeInts(dst []int, n int) []int {
+	if cap(dst) < n {
+		return make([]int, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
 }
 
 // Split partitions the per-feature statistics by a stratification result,
 // returning the dense-core and sparse-core sub-workloads.
 func (s LinearStats) Split(res bundle.StratifyResult) (dense, sparse LinearStats) {
-	pick := func(idx []int) LinearStats {
-		out := s
-		out.ActivePerFeature = make([]int, 0, len(idx))
-		out.SpikesPerFeature = make([]int, 0, len(idx))
-		out.MaxSpikesPerBundle = make([]int, 0, len(idx))
-		out.TotalSpikes, out.ActiveBundles = 0, 0
-		for _, d := range idx {
-			out.ActivePerFeature = append(out.ActivePerFeature, s.ActivePerFeature[d])
-			out.SpikesPerFeature = append(out.SpikesPerFeature, s.SpikesPerFeature[d])
-			out.MaxSpikesPerBundle = append(out.MaxSpikesPerBundle, s.MaxSpikesPerBundle[d])
-			out.TotalSpikes += s.SpikesPerFeature[d]
-			out.ActiveBundles += s.ActivePerFeature[d]
-		}
-		out.DIn = len(idx)
-		return out
+	var d, sp LinearStats
+	s.SplitInto(res, &d, &sp)
+	return d, sp
+}
+
+// SplitInto is Split writing into caller-held stats, reusing their
+// per-feature slices across calls.
+func (s *LinearStats) SplitInto(res bundle.StratifyResult, dense, sparse *LinearStats) {
+	s.pickInto(res.Dense, dense)
+	s.pickInto(res.Sparse, sparse)
+}
+
+func (s *LinearStats) pickInto(idx []int, out *LinearStats) {
+	apf := out.ActivePerFeature[:0]
+	spf := out.SpikesPerFeature[:0]
+	msb := out.MaxSpikesPerBundle[:0]
+	*out = *s
+	out.TotalSpikes, out.ActiveBundles = 0, 0
+	for _, d := range idx {
+		apf = append(apf, s.ActivePerFeature[d])
+		spf = append(spf, s.SpikesPerFeature[d])
+		msb = append(msb, s.MaxSpikesPerBundle[d])
+		out.TotalSpikes += s.SpikesPerFeature[d]
+		out.ActiveBundles += s.ActivePerFeature[d]
 	}
-	return pick(res.Dense), pick(res.Sparse)
+	out.ActivePerFeature, out.SpikesPerFeature, out.MaxSpikesPerBundle = apf, spf, msb
+	out.DIn = len(idx)
 }
 
 // WeightDRAMBytes is the off-chip weight traffic of the layer: each 8-bit

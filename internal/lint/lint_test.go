@@ -202,3 +202,25 @@ func TestScopeMatching(t *testing.T) {
 		}
 	}
 }
+
+// TestAsmStubFixture pins build-constraint-aware loading: a package with
+// per-architecture variants of one declaration — bodyless //go:noescape
+// assembly stubs on amd64/arm64 plus a pure-Go fallback — must load with
+// exactly one variant admitted, type-check without phantom redeclaration
+// errors, and lint clean with every analyzer (no false positives on the
+// bodyless stub declarations).
+func TestAsmStubFixture(t *testing.T) {
+	m, pkg := loadFixture(t, "asmstub", "internal/spike")
+	if len(pkg.Files) != 2 {
+		var names []string
+		for _, f := range pkg.Files {
+			names = append(names, filepath.Base(m.Fset.Position(f.Pos()).Filename))
+		}
+		t.Fatalf("loaded %v, want the portable file plus exactly one arch variant", names)
+	}
+	if diags := m.lintPackage(pkg, Analyzers(), true); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("false positive on asm-stub package: %s", d)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -160,8 +161,20 @@ func findModule(dir string) (root, path string, err error) {
 	}
 }
 
+// buildCtx decides, with the go tool's own rules, which files belong to the
+// package on the host GOOS/GOARCH: both filename suffixes (_amd64.go,
+// _linux.go) and //go:build constraints count.
+var buildCtx = build.Default
+
 // loadDir parses and type-checks the package in one directory, returning
 // nil when the directory holds no non-test Go files.
+//
+// Files excluded by build constraints are skipped entirely. Assembly-backed
+// packages carry one variant of the same declarations per architecture
+// (e.g. a cpuid detect() for amd64, arm64, and a portable fallback);
+// admitting every variant would produce phantom redeclaration errors the
+// compiler never sees. The cost is that lint only checks the host's build —
+// the same trade the go tool makes.
 func (m *Module) loadDir(dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -172,6 +185,11 @@ func (m *Module) loadDir(dir string) (*Package, error) {
 	for _, e := range entries {
 		fn := e.Name()
 		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+			continue
+		}
+		if ok, err := buildCtx.MatchFile(dir, fn); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", filepath.Join(dir, fn), err)
+		} else if !ok {
 			continue
 		}
 		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, fn), nil,

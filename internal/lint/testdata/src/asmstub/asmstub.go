@@ -1,0 +1,10 @@
+// Package asmstub is the loader fixture for assembly-backed packages: one
+// portable entry point dispatching to a per-architecture kernel, where the
+// amd64 and arm64 variants are bodyless //go:noescape stubs implemented in
+// .s files and the fallback is pure Go. Build-constraint-aware loading must
+// admit exactly one variant — every variant at once is a redeclaration the
+// compiler never sees — and the admitted stub must lint clean.
+package asmstub
+
+// Kernel returns the population count of x via the dispatched kernel.
+func Kernel(x []uint64) int { return kernel(x) }

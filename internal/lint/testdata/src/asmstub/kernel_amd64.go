@@ -1,0 +1,6 @@
+package asmstub
+
+// kernel is implemented in kernel_amd64.s.
+//
+//go:noescape
+func kernel(x []uint64) int

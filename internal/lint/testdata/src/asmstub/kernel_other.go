@@ -1,0 +1,13 @@
+//go:build !amd64 && !arm64
+
+package asmstub
+
+import "math/bits"
+
+func kernel(x []uint64) int {
+	var c int
+	for _, w := range x {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

@@ -40,11 +40,25 @@ func RateEncode(x *tensor.Mat, T int, rng *tensor.RNG) *spike.Tensor {
 // genuinely need float views — attention head slicing with ECP keep-masks,
 // pooling layers, and the dense-path baselines.
 func SpikesToMats(s *spike.Tensor) []*tensor.Mat {
-	out := make([]*tensor.Mat, s.T)
-	for t := 0; t < s.T; t++ {
-		m := tensor.NewMat(s.N, s.D)
-		s.TimeSlice(t, m.Data)
-		out[t] = m
+	return SpikesToMatsInto(nil, s)
+}
+
+// SpikesToMatsInto is SpikesToMats writing through the caller's pooled
+// matrices: same-shape entries of dst are reused (TimeSlice fully overwrites
+// them), mismatched or missing ones are allocated, and the resized slice is
+// returned. The hot per-step views of the attention loops go through this.
+func SpikesToMatsInto(dst []*tensor.Mat, s *spike.Tensor) []*tensor.Mat {
+	if cap(dst) < s.T {
+		dst = append(dst[:cap(dst)], make([]*tensor.Mat, s.T-cap(dst))...)
 	}
-	return out
+	dst = dst[:s.T]
+	for t := 0; t < s.T; t++ {
+		m := dst[t]
+		if m == nil || m.Rows != s.N || m.Cols != s.D {
+			m = tensor.NewMat(s.N, s.D)
+			dst[t] = m
+		}
+		s.TimeSlice(t, m.Data)
+	}
+	return dst
 }

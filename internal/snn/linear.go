@@ -23,8 +23,16 @@ type Linear struct {
 	xs []*tensor.Mat
 	sx *spike.Tensor
 
-	idx []int // pooled set-bit index buffer for the spike-driven GEMM
+	idx    []int         // pooled set-bit index buffer for the spike-driven GEMM
+	fwdOut []*tensor.Mat // pooled ForwardSpikes outputs, one matrix per time step
 }
+
+// gemmColTile is the column-tile width (in float32s) of the spike-driven
+// GEMM: 2 KiB per weight-row tile, so the four streamed weight tiles plus
+// the output tile stay resident in L1 even for MLP-width (4·D) outputs.
+// Tiling only reorders the j loop; each output element still accumulates
+// its weight contributions in ascending-d order, preserving bit-identity.
+const gemmColTile = 512
 
 // NewLinear constructs an in×out projection with Kaiming-uniform init.
 func NewLinear(name string, in, out int, bias bool, rng *tensor.RNG) *Linear {
@@ -64,22 +72,27 @@ func (l *Linear) Forward(xs []*tensor.Mat) []*tensor.Mat {
 // ForwardSpikes applies the projection directly on a binary spike tensor
 // via a spike-driven GEMM: for every set bit (n, d) the weight row d is
 // accumulated into output row n, so the float spike matrix is never
-// materialized and the work is proportional to the spike count. The
-// accumulation is register-blocked four weight rows deep (one pass over the
-// output row per four spikes); each output element still sums its weight
-// contributions in ascending-d order, making the result bit-identical to
-// materializing the slice and calling Forward.
+// materialized and the work is proportional to the spike count. The inner
+// loop is cache-blocked over output columns (gemmColTile) and
+// register-blocked four weight rows deep, so wide outputs stream through L1
+// a tile at a time instead of re-walking full rows per spike quartet. Each
+// output element still sums its weight contributions in ascending-d order,
+// making the result bit-identical to materializing the slice and calling
+// Forward.
+//
+// The returned matrices are pooled scratch owned by the layer: they are
+// valid until the next ForwardSpikes call, which is the lifetime every
+// caller needs (outputs feed the next layer within the same forward pass).
 func (l *Linear) ForwardSpikes(s *spike.Tensor) []*tensor.Mat {
 	if s.D != l.In {
 		panic(fmt.Sprintf("snn: Linear %s input features %d want %d", l.Weight.Name, s.D, l.In))
 	}
 	l.xs, l.sx = nil, s
 	w := l.Weight.W
-	out := make([]*tensor.Mat, s.T)
+	out := l.spikeOut(s.T, s.N)
 	for t := 0; t < s.T; t++ {
-		y := tensor.NewMat(s.N, l.Out)
+		y := out[t]
 		for n := 0; n < s.N; n++ {
-			yrow := y.Row(n)
 			idx := l.idx[:0]
 			for wi, bw := range s.TokenWords(t, n) {
 				base := wi << 6
@@ -89,28 +102,51 @@ func (l *Linear) ForwardSpikes(s *spike.Tensor) []*tensor.Mat {
 				}
 			}
 			l.idx = idx
-			i := 0
-			for ; i+3 < len(idx); i += 4 {
-				w0, w1 := w.Row(idx[i]), w.Row(idx[i+1])
-				w2, w3 := w.Row(idx[i+2]), w.Row(idx[i+3])
-				for j := range yrow {
-					v := yrow[j]
-					v += w0[j]
-					v += w1[j]
-					v += w2[j]
-					v += w3[j]
-					yrow[j] = v
+			yrow := y.Row(n)
+			for j0 := 0; j0 < l.Out; j0 += gemmColTile {
+				j1 := min(j0+gemmColTile, l.Out)
+				ytile := yrow[j0:j1]
+				i := 0
+				for ; i+3 < len(idx); i += 4 {
+					w0, w1 := w.Row(idx[i])[j0:j1], w.Row(idx[i+1])[j0:j1]
+					w2, w3 := w.Row(idx[i+2])[j0:j1], w.Row(idx[i+3])[j0:j1]
+					for j := range ytile {
+						v := ytile[j]
+						v += w0[j]
+						v += w1[j]
+						v += w2[j]
+						v += w3[j]
+						ytile[j] = v
+					}
 				}
-			}
-			for ; i < len(idx); i++ {
-				for j, wv := range w.Row(idx[i]) {
-					yrow[j] += wv
+				for ; i < len(idx); i++ {
+					for j, wv := range w.Row(idx[i])[j0:j1] {
+						ytile[j] += wv
+					}
 				}
 			}
 		}
 		l.addBias(y)
-		out[t] = y
 	}
+	return out
+}
+
+// spikeOut returns the pooled per-step output matrices for ForwardSpikes,
+// zeroed and sized T×(N×Out), growing or reallocating entries only when the
+// shape changes.
+func (l *Linear) spikeOut(t, n int) []*tensor.Mat {
+	if cap(l.fwdOut) < t {
+		l.fwdOut = append(l.fwdOut[:cap(l.fwdOut)], make([]*tensor.Mat, t-cap(l.fwdOut))...)
+	}
+	out := l.fwdOut[:t]
+	for i, y := range out {
+		if y == nil || y.Rows != n || y.Cols != l.Out {
+			out[i] = tensor.NewMat(n, l.Out)
+		} else {
+			y.Zero()
+		}
+	}
+	l.fwdOut = out
 	return out
 }
 
@@ -170,21 +206,41 @@ func (l *Linear) inRows(t int) int {
 	return l.xs[t].Rows
 }
 
-// accSpikeGrad accumulates dW += s[t]ᵀ·gy for the binary cached input.
+// accSpikeGrad accumulates dW += s[t]ᵀ·gy for the binary cached input. The
+// scatter is register-blocked four gradient rows deep so each loaded gy
+// element feeds four destination rows per pass. Every gradient element
+// still receives exactly one contribution per (t, n) pair, in the same
+// (t, n) order as the dense MatTMulAcc reference, so the result is
+// bit-identical.
 func (l *Linear) accSpikeGrad(t int, gy *tensor.Mat) {
 	s := l.sx
 	grad := l.Weight.Grad
 	for n := 0; n < s.N; n++ {
 		gyrow := gy.Row(n)
+		idx := l.idx[:0]
 		for wi, bw := range s.TokenWords(t, n) {
 			base := wi << 6
 			for bw != 0 {
-				d := base + bits.TrailingZeros64(bw)
+				idx = append(idx, base+bits.TrailingZeros64(bw))
 				bw &= bw - 1
-				grow := grad.Row(d)
-				for j, v := range gyrow {
-					grow[j] += v
-				}
+			}
+		}
+		l.idx = idx
+		i := 0
+		for ; i+3 < len(idx); i += 4 {
+			g0, g1 := grad.Row(idx[i]), grad.Row(idx[i+1])
+			g2, g3 := grad.Row(idx[i+2]), grad.Row(idx[i+3])
+			for j, v := range gyrow {
+				g0[j] += v
+				g1[j] += v
+				g2[j] += v
+				g3[j] += v
+			}
+		}
+		for ; i < len(idx); i++ {
+			grow := grad.Row(idx[i])
+			for j, v := range gyrow {
+				grow[j] += v
 			}
 		}
 	}

@@ -1,0 +1,172 @@
+package spike
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"sync/atomic"
+)
+
+// This file is the kernel dispatch layer: every popcount-style reduction in
+// the package funnels through one of three word-kernel entry points
+// (countWords, andCountWords, orCountWords), which select between the
+// portable pure-Go kernels below and the runtime-detected SIMD kernels
+// registered by the per-GOARCH init (kernels_amd64.go, kernels_arm64.go).
+//
+// Contracts:
+//
+//   - Every kernel is bit-identical to the pure-Go reference on every input;
+//     the dispatch layer may pick any registered kernel at any length.
+//   - SIMD kernels only run at or above their minWords threshold — below it
+//     the call overhead of a non-inlinable asm routine loses to the
+//     compiler-inlined scalar loop, so short rows (a token row is typically
+//     ⌈D/64⌉ ≤ a dozen words) stay on the scalar path by design.
+//   - BISHOP_NOSIMD=1 in the environment forces the pure-Go kernels for the
+//     whole process — the differential-testing escape hatch used by the
+//     second CI race pass.
+type kernelSet struct {
+	name string
+	// minWords is the slice length at which the SIMD entry points beat the
+	// inlined scalar loop (call overhead plus constant setup amortized).
+	minWords int
+
+	popcnt   func(p []uint64) int
+	andCount func(a, b []uint64) int
+	orCount  func(a, b []uint64) int
+}
+
+// goKernels is the portable reference implementation and universal fallback.
+var goKernels = kernelSet{
+	name:     "go",
+	popcnt:   popcntGo,
+	andCount: andCountGo,
+	orCount:  orCountGo,
+}
+
+// simdKernels is filled by the per-GOARCH init, best kernel first. Empty on
+// architectures without asm kernels.
+var simdKernels []kernelSet
+
+// active is the kernel set in use. It is written at package init (after the
+// per-GOARCH inits have registered their kernels) and by the test-only
+// forceKernel, and read on every dispatched call, so it is an atomic
+// pointer: concurrent simulations must never observe a torn swap.
+var active atomic.Pointer[kernelSet]
+
+func init() {
+	// Per-GOARCH inits run before this one only if their files sort first;
+	// Go initializes files of a package in filename order, and
+	// kernels_amd64.go/kernels_arm64.go sort before kernels.go is... not
+	// guaranteed across toolchains. Selection therefore happens lazily on
+	// first use as well as here.
+	selectDefaultKernel()
+}
+
+// selectDefaultKernel installs the best available kernel set, honoring the
+// BISHOP_NOSIMD escape hatch.
+func selectDefaultKernel() {
+	if v := os.Getenv("BISHOP_NOSIMD"); v != "" && v != "0" {
+		active.Store(&goKernels)
+		return
+	}
+	if len(simdKernels) > 0 {
+		active.Store(&simdKernels[0])
+		return
+	}
+	active.Store(&goKernels)
+}
+
+// registerKernels is called by per-GOARCH inits with their kernel sets in
+// preference order (best first), then re-runs selection so registration
+// order relative to this file's init does not matter.
+func registerKernels(sets ...kernelSet) {
+	simdKernels = append(simdKernels, sets...)
+	selectDefaultKernel()
+}
+
+// ActiveKernel names the kernel set currently dispatched to: "go" for the
+// portable word kernels, or an ISA name such as "avx2", "avx512vpopcntdq",
+// or "neon". Intended for logs and the README dispatch matrix.
+func ActiveKernel() string { return active.Load().name }
+
+// AvailableKernels lists every kernel set this binary can dispatch to on
+// this machine, best first, always ending with "go".
+func AvailableKernels() []string {
+	names := make([]string, 0, len(simdKernels)+1)
+	for i := range simdKernels {
+		names = append(names, simdKernels[i].name)
+	}
+	return append(names, goKernels.name)
+}
+
+// forceKernel switches dispatch to the named kernel set and returns a
+// restore function, or an error if the kernel is not available on this
+// machine. Test-only: production selection happens once at init.
+func forceKernel(name string) (restore func(), err error) {
+	prev := active.Load()
+	if name == goKernels.name {
+		active.Store(&goKernels)
+		return func() { active.Store(prev) }, nil
+	}
+	for i := range simdKernels {
+		if simdKernels[i].name == name {
+			active.Store(&simdKernels[i])
+			return func() { active.Store(prev) }, nil
+		}
+	}
+	return nil, fmt.Errorf("spike: kernel %q not available (have %v)", name, AvailableKernels())
+}
+
+// countWords dispatches Σ popcount(p[i]).
+func countWords(p []uint64) int {
+	if k := active.Load(); len(p) >= k.minWords && k != &goKernels {
+		return k.popcnt(p)
+	}
+	return popcntGo(p)
+}
+
+// andCountWords dispatches Σ popcount(a[i] & b[i]); len(b) must be ≥ len(a).
+func andCountWords(a, b []uint64) int {
+	if k := active.Load(); len(a) >= k.minWords && k != &goKernels {
+		return k.andCount(a, b)
+	}
+	return andCountGo(a, b)
+}
+
+// orCountWords dispatches Σ popcount(a[i] | b[i]); len(b) must be ≥ len(a).
+func orCountWords(a, b []uint64) int {
+	if k := active.Load(); len(a) >= k.minWords && k != &goKernels {
+		return k.orCount(a, b)
+	}
+	return orCountGo(a, b)
+}
+
+// popcntGo is the portable reference: Σ popcount(p[i]). The compiler turns
+// bits.OnesCount64 into a single instruction where the ISA has one.
+func popcntGo(p []uint64) int {
+	var c int
+	for _, w := range p {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// andCountGo is the portable reference for Σ popcount(a[i] & b[i]).
+func andCountGo(a, b []uint64) int {
+	b = b[:len(a)]
+	var c int
+	for i, w := range a {
+		c += bits.OnesCount64(w & b[i])
+	}
+	return c
+}
+
+// orCountGo is the portable reference for Σ popcount(a[i] | b[i]).
+func orCountGo(a, b []uint64) int {
+	b = b[:len(a)]
+	var c int
+	for i, w := range a {
+		c += bits.OnesCount64(w | b[i])
+	}
+	return c
+}

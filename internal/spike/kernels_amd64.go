@@ -1,0 +1,56 @@
+package spike
+
+import "repro/internal/cpuid"
+
+// Assembly kernels in kernels_amd64.s. Each returns Σ popcount over the
+// (combined) words. The two-operand kernels use len(a) as the element
+// count; callers must guarantee len(b) ≥ len(a).
+
+//go:noescape
+func popcntAVX2(p []uint64) int64
+
+//go:noescape
+func andCountAVX2(a, b []uint64) int64
+
+//go:noescape
+func orCountAVX2(a, b []uint64) int64
+
+//go:noescape
+func popcntVPOPCNT(p []uint64) int64
+
+//go:noescape
+func andCountVPOPCNT(a, b []uint64) int64
+
+//go:noescape
+func orCountVPOPCNT(a, b []uint64) int64
+
+func init() {
+	f := cpuid.Host()
+	var sets []kernelSet
+	if f.AVX512VPOPCNTDQ {
+		sets = append(sets, kernelSet{
+			name: "avx512vpopcntdq",
+			// One zmm covers 8 words and VPOPCNTQ has no setup cost beyond
+			// the call itself, so the threshold is low.
+			minWords: 16,
+			popcnt:   func(p []uint64) int { return int(popcntVPOPCNT(p)) },
+			andCount: func(a, b []uint64) int { return int(andCountVPOPCNT(a, b)) },
+			orCount:  func(a, b []uint64) int { return int(orCountVPOPCNT(a, b)) },
+		})
+	}
+	if f.AVX2 {
+		sets = append(sets, kernelSet{
+			name: "avx2",
+			// The Harley–Seal kernel loads two 32-byte constants and runs a
+			// ~20-instruction reduction epilogue; below ~32 words the inlined
+			// scalar POPCNT loop wins.
+			minWords: 32,
+			popcnt:   func(p []uint64) int { return int(popcntAVX2(p)) },
+			andCount: func(a, b []uint64) int { return int(andCountAVX2(a, b)) },
+			orCount:  func(a, b []uint64) int { return int(orCountAVX2(a, b)) },
+		})
+	}
+	if len(sets) > 0 {
+		registerKernels(sets...)
+	}
+}

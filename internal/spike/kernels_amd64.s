@@ -1,0 +1,479 @@
+// SIMD popcount reductions for amd64.
+//
+// Two ISA levels, both bit-identical to the pure-Go word kernels:
+//
+//   - AVX2: Harley–Seal carry-save popcount. 64 words per iteration fold
+//     through a CSA adder tree (ones/twos/fours/eights/sixteens) so only one
+//     in-register popcount — a VPSHUFB nibble lookup summed with VPSADBW —
+//     runs per 16 vectors.
+//   - AVX-512 VPOPCNTDQ: the hardware per-qword popcount, two accumulators
+//     deep for ILP.
+//
+// Register map (AVX2 kernels):
+//   Y0  running qword totals        Y8/Y9   foursA/foursB (+eightsB)
+//   Y1  CSA ones                    Y10/Y11 scratch
+//   Y2  CSA twos                    Y12     nibble-popcount LUT
+//   Y3  CSA fours                   Y13     0x0f byte mask
+//   Y4  CSA eights                  Y14     zero (VPSADBW operand)
+//   Y5  sixteens / CSA "u" temp     Y15     eightsA
+//   Y6/Y7 twosA/twosB
+//
+// The two-operand kernels trust a_len as the word count; Go callers
+// guarantee len(b) >= len(a).
+
+#include "textflag.h"
+
+DATA lutpop<>+0(SB)/8, $0x0302020102010100
+DATA lutpop<>+8(SB)/8, $0x0403030203020201
+DATA lutpop<>+16(SB)/8, $0x0302020102010100
+DATA lutpop<>+24(SB)/8, $0x0403030203020201
+GLOBL lutpop<>(SB), RODATA|NOPTR, $32
+
+DATA lomask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA lomask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA lomask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA lomask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL lomask<>(SB), RODATA|NOPTR, $32
+
+// Carry-save adder on registers: (H,L) = L+A+B. H may alias A or B.
+#define CSA(H, L, A, B) \
+	VPXOR  A, B, Y10;  \
+	VPAND  A, B, Y11;  \
+	VPAND  Y10, L, H;  \
+	VPOR   Y11, H, H;  \
+	VPXOR  Y10, L, L
+
+// Carry-save adder folding two fresh data vectors from SI into L.
+#define CSAD_P(H, L, O1, O2) \
+	VMOVDQU O1(SI), Y10;  \
+	VMOVDQU O2(SI), Y11;  \
+	VPXOR   Y10, Y11, Y5; \
+	VPAND   Y10, Y11, Y10; \
+	VPAND   Y5, L, Y11;   \
+	VPOR    Y10, Y11, H;  \
+	VPXOR   Y5, L, L
+
+// Same, data vectors are a[i]&b[i] from SI/BX.
+#define CSAD_A(H, L, O1, O2) \
+	VMOVDQU O1(SI), Y10;  \
+	VMOVDQU O2(SI), Y11;  \
+	VPAND   O1(BX), Y10, Y10; \
+	VPAND   O2(BX), Y11, Y11; \
+	VPXOR   Y10, Y11, Y5; \
+	VPAND   Y10, Y11, Y10; \
+	VPAND   Y5, L, Y11;   \
+	VPOR    Y10, Y11, H;  \
+	VPXOR   Y5, L, L
+
+// Same, data vectors are a[i]|b[i] from SI/BX.
+#define CSAD_O(H, L, O1, O2) \
+	VMOVDQU O1(SI), Y10;  \
+	VMOVDQU O2(SI), Y11;  \
+	VPOR    O1(BX), Y10, Y10; \
+	VPOR    O2(BX), Y11, Y11; \
+	VPXOR   Y10, Y11, Y5; \
+	VPAND   Y10, Y11, Y10; \
+	VPAND   Y5, L, Y11;   \
+	VPOR    Y10, Y11, H;  \
+	VPXOR   Y5, L, L
+
+// In-register popcount of V (VPSHUFB nibble LUT + VPSADBW), qword sums
+// scaled by 1<<SHIFT and accumulated into Y0.
+#define ACCPOPS(V, SHIFT) \
+	VPAND   V, Y13, Y10;  \
+	VPSRLW  $4, V, Y11;   \
+	VPAND   Y11, Y13, Y11; \
+	VPSHUFB Y10, Y12, Y10; \
+	VPSHUFB Y11, Y12, Y11; \
+	VPADDB  Y10, Y11, Y10; \
+	VPSADBW Y14, Y10, Y10; \
+	VPSLLQ  SHIFT, Y10, Y10; \
+	VPADDQ  Y10, Y0, Y0
+
+// Unscaled variant for the hot loop and the <64-word vector cleanup.
+#define ACCPOP(V) \
+	VPAND   V, Y13, Y10;  \
+	VPSRLW  $4, V, Y11;   \
+	VPAND   Y11, Y13, Y11; \
+	VPSHUFB Y10, Y12, Y10; \
+	VPSHUFB Y11, Y12, Y11; \
+	VPADDB  Y10, Y11, Y10; \
+	VPSADBW Y14, Y10, Y10; \
+	VPADDQ  Y10, Y0, Y0
+
+// One full Harley–Seal round: 16 vectors (64 words) through the CSA tree,
+// one ACCPOP of the resulting sixteens vector. CSAD is the data-folding
+// macro flavor, so the same body serves plain/and/or kernels.
+#define HSROUND(CSAD) \
+	CSAD(Y6, Y1, 0, 32);    \
+	CSAD(Y7, Y1, 64, 96);   \
+	CSA(Y8, Y2, Y6, Y7);    \
+	CSAD(Y6, Y1, 128, 160); \
+	CSAD(Y7, Y1, 192, 224); \
+	CSA(Y9, Y2, Y6, Y7);    \
+	CSA(Y15, Y3, Y8, Y9);   \
+	CSAD(Y6, Y1, 256, 288); \
+	CSAD(Y7, Y1, 320, 352); \
+	CSA(Y8, Y2, Y6, Y7);    \
+	CSAD(Y6, Y1, 384, 416); \
+	CSAD(Y7, Y1, 448, 480); \
+	CSA(Y9, Y2, Y6, Y7);    \
+	CSA(Y8, Y3, Y8, Y9);    \
+	CSA(Y5, Y4, Y15, Y8);   \
+	ACCPOP(Y5)
+
+// Zero the accumulator tree and load constants.
+#define HSINIT \
+	VPXOR Y0, Y0, Y0; \
+	VPXOR Y1, Y1, Y1; \
+	VPXOR Y2, Y2, Y2; \
+	VPXOR Y3, Y3, Y3; \
+	VPXOR Y4, Y4, Y4; \
+	VMOVDQU lutpop<>(SB), Y12; \
+	VMOVDQU lomask<>(SB), Y13; \
+	VPXOR Y14, Y14, Y14
+
+// Fold the CSA tiers into Y0 (each tier's bits carry weight 2^tier) and
+// horizontally reduce Y0 into AX.
+#define HSFOLD \
+	VPSLLQ  $4, Y0, Y0; \
+	ACCPOPS(Y4, $3);    \
+	ACCPOPS(Y3, $2);    \
+	ACCPOPS(Y2, $1);    \
+	ACCPOPS(Y1, $0)
+
+#define HSUMY0AX \
+	VEXTRACTI128 $1, Y0, X10; \
+	VPADDQ  X10, X0, X0; \
+	VPSRLDQ $8, X0, X10; \
+	VPADDQ  X10, X0, X0; \
+	MOVQ    X0, AX;      \
+	VZEROUPPER
+
+// func popcntAVX2(p []uint64) int64
+TEXT ·popcntAVX2(SB), NOSPLIT, $0-32
+	MOVQ p_base+0(FP), SI
+	MOVQ p_len+8(FP), CX
+	HSINIT
+	MOVQ CX, DX
+	SHRQ $6, DX
+	JZ   vecs
+
+hsloop:
+	HSROUND(CSAD_P)
+	ADDQ $512, SI
+	DECQ DX
+	JNZ  hsloop
+	HSFOLD
+
+vecs:
+	ANDQ $63, CX
+	MOVQ CX, DX
+	SHRQ $2, DX
+	JZ   hsum
+
+vecloop:
+	VMOVDQU (SI), Y5
+	ACCPOP(Y5)
+	ADDQ $32, SI
+	DECQ DX
+	JNZ  vecloop
+
+hsum:
+	HSUMY0AX
+	ANDQ $3, CX
+	JZ   done
+
+tailloop:
+	POPCNTQ (SI), DX
+	ADDQ DX, AX
+	ADDQ $8, SI
+	DECQ CX
+	JNZ  tailloop
+
+done:
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func andCountAVX2(a, b []uint64) int64
+TEXT ·andCountAVX2(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), BX
+	MOVQ a_len+8(FP), CX
+	HSINIT
+	MOVQ CX, DX
+	SHRQ $6, DX
+	JZ   vecs
+
+hsloop:
+	HSROUND(CSAD_A)
+	ADDQ $512, SI
+	ADDQ $512, BX
+	DECQ DX
+	JNZ  hsloop
+	HSFOLD
+
+vecs:
+	ANDQ $63, CX
+	MOVQ CX, DX
+	SHRQ $2, DX
+	JZ   hsum
+
+vecloop:
+	VMOVDQU (SI), Y5
+	VPAND   (BX), Y5, Y5
+	ACCPOP(Y5)
+	ADDQ $32, SI
+	ADDQ $32, BX
+	DECQ DX
+	JNZ  vecloop
+
+hsum:
+	HSUMY0AX
+	ANDQ $3, CX
+	JZ   done
+
+tailloop:
+	MOVQ (SI), DX
+	ANDQ (BX), DX
+	POPCNTQ DX, DX
+	ADDQ DX, AX
+	ADDQ $8, SI
+	ADDQ $8, BX
+	DECQ CX
+	JNZ  tailloop
+
+done:
+	MOVQ AX, ret+48(FP)
+	RET
+
+// func orCountAVX2(a, b []uint64) int64
+TEXT ·orCountAVX2(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), BX
+	MOVQ a_len+8(FP), CX
+	HSINIT
+	MOVQ CX, DX
+	SHRQ $6, DX
+	JZ   vecs
+
+hsloop:
+	HSROUND(CSAD_O)
+	ADDQ $512, SI
+	ADDQ $512, BX
+	DECQ DX
+	JNZ  hsloop
+	HSFOLD
+
+vecs:
+	ANDQ $63, CX
+	MOVQ CX, DX
+	SHRQ $2, DX
+	JZ   hsum
+
+vecloop:
+	VMOVDQU (SI), Y5
+	VPOR    (BX), Y5, Y5
+	ACCPOP(Y5)
+	ADDQ $32, SI
+	ADDQ $32, BX
+	DECQ DX
+	JNZ  vecloop
+
+hsum:
+	HSUMY0AX
+	ANDQ $3, CX
+	JZ   done
+
+tailloop:
+	MOVQ (SI), DX
+	ORQ  (BX), DX
+	POPCNTQ DX, DX
+	ADDQ DX, AX
+	ADDQ $8, SI
+	ADDQ $8, BX
+	DECQ CX
+	JNZ  tailloop
+
+done:
+	MOVQ AX, ret+48(FP)
+	RET
+
+// Horizontal reduce Z0 into AX (AVX-512 kernels).
+#define HSUMZ0AX \
+	VEXTRACTI64X4 $1, Z0, Y1; \
+	VPADDQ  Y1, Y0, Y0;  \
+	VEXTRACTI128 $1, Y0, X1; \
+	VPADDQ  X1, X0, X0;  \
+	VPSRLDQ $8, X0, X1;  \
+	VPADDQ  X1, X0, X0;  \
+	MOVQ    X0, AX;      \
+	VZEROUPPER
+
+// func popcntVPOPCNT(p []uint64) int64
+TEXT ·popcntVPOPCNT(SB), NOSPLIT, $0-32
+	MOVQ p_base+0(FP), SI
+	MOVQ p_len+8(FP), CX
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	MOVQ CX, DX
+	SHRQ $4, DX
+	JZ   vec
+
+zloop:
+	VMOVDQU64 (SI), Z2
+	VMOVDQU64 64(SI), Z3
+	VPOPCNTQ Z2, Z2
+	VPOPCNTQ Z3, Z3
+	VPADDQ Z2, Z0, Z0
+	VPADDQ Z3, Z1, Z1
+	ADDQ $128, SI
+	DECQ DX
+	JNZ  zloop
+
+vec:
+	VPADDQ Z1, Z0, Z0
+	ANDQ $15, CX
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   hsum
+	VMOVDQU64 (SI), Z2
+	VPOPCNTQ Z2, Z2
+	VPADDQ Z2, Z0, Z0
+	ADDQ $64, SI
+
+hsum:
+	HSUMZ0AX
+	ANDQ $7, CX
+	JZ   done
+
+tailloop:
+	POPCNTQ (SI), DX
+	ADDQ DX, AX
+	ADDQ $8, SI
+	DECQ CX
+	JNZ  tailloop
+
+done:
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func andCountVPOPCNT(a, b []uint64) int64
+TEXT ·andCountVPOPCNT(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), BX
+	MOVQ a_len+8(FP), CX
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	MOVQ CX, DX
+	SHRQ $4, DX
+	JZ   vec
+
+zloop:
+	VMOVDQU64 (SI), Z2
+	VMOVDQU64 64(SI), Z3
+	VMOVDQU64 (BX), Z4
+	VMOVDQU64 64(BX), Z5
+	VPANDQ Z4, Z2, Z2
+	VPANDQ Z5, Z3, Z3
+	VPOPCNTQ Z2, Z2
+	VPOPCNTQ Z3, Z3
+	VPADDQ Z2, Z0, Z0
+	VPADDQ Z3, Z1, Z1
+	ADDQ $128, SI
+	ADDQ $128, BX
+	DECQ DX
+	JNZ  zloop
+
+vec:
+	VPADDQ Z1, Z0, Z0
+	ANDQ $15, CX
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   hsum
+	VMOVDQU64 (SI), Z2
+	VMOVDQU64 (BX), Z4
+	VPANDQ Z4, Z2, Z2
+	VPOPCNTQ Z2, Z2
+	VPADDQ Z2, Z0, Z0
+	ADDQ $64, SI
+	ADDQ $64, BX
+
+hsum:
+	HSUMZ0AX
+	ANDQ $7, CX
+	JZ   done
+
+tailloop:
+	MOVQ (SI), DX
+	ANDQ (BX), DX
+	POPCNTQ DX, DX
+	ADDQ DX, AX
+	ADDQ $8, SI
+	ADDQ $8, BX
+	DECQ CX
+	JNZ  tailloop
+
+done:
+	MOVQ AX, ret+48(FP)
+	RET
+
+// func orCountVPOPCNT(a, b []uint64) int64
+TEXT ·orCountVPOPCNT(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), BX
+	MOVQ a_len+8(FP), CX
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	MOVQ CX, DX
+	SHRQ $4, DX
+	JZ   vec
+
+zloop:
+	VMOVDQU64 (SI), Z2
+	VMOVDQU64 64(SI), Z3
+	VMOVDQU64 (BX), Z4
+	VMOVDQU64 64(BX), Z5
+	VPORQ Z4, Z2, Z2
+	VPORQ Z5, Z3, Z3
+	VPOPCNTQ Z2, Z2
+	VPOPCNTQ Z3, Z3
+	VPADDQ Z2, Z0, Z0
+	VPADDQ Z3, Z1, Z1
+	ADDQ $128, SI
+	ADDQ $128, BX
+	DECQ DX
+	JNZ  zloop
+
+vec:
+	VPADDQ Z1, Z0, Z0
+	ANDQ $15, CX
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   hsum
+	VMOVDQU64 (SI), Z2
+	VMOVDQU64 (BX), Z4
+	VPORQ Z4, Z2, Z2
+	VPOPCNTQ Z2, Z2
+	VPADDQ Z2, Z0, Z0
+	ADDQ $64, SI
+	ADDQ $64, BX
+
+hsum:
+	HSUMZ0AX
+	ANDQ $7, CX
+	JZ   done
+
+tailloop:
+	MOVQ (SI), DX
+	ORQ  (BX), DX
+	POPCNTQ DX, DX
+	ADDQ DX, AX
+	ADDQ $8, SI
+	ADDQ $8, BX
+	DECQ CX
+	JNZ  tailloop
+
+done:
+	MOVQ AX, ret+48(FP)
+	RET

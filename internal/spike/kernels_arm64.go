@@ -1,0 +1,32 @@
+package spike
+
+import "repro/internal/cpuid"
+
+// Assembly kernels in kernels_arm64.s: AdvSIMD (NEON) CNT+UADDLV popcount
+// reductions. The two-operand kernels use len(a) as the element count;
+// callers must guarantee len(b) ≥ len(a).
+
+//go:noescape
+func popcntNEON(p []uint64) int64
+
+//go:noescape
+func andCountNEON(a, b []uint64) int64
+
+//go:noescape
+func orCountNEON(a, b []uint64) int64
+
+func init() {
+	if !cpuid.Host().NEON {
+		return
+	}
+	registerKernels(kernelSet{
+		name: "neon",
+		// One q-register covers 2 words; the per-iteration UADDLV keeps the
+		// kernel simple, so the win over the scalar loop starts later than
+		// on amd64.
+		minWords: 16,
+		popcnt:   func(p []uint64) int { return int(popcntNEON(p)) },
+		andCount: func(a, b []uint64) int { return int(andCountNEON(a, b)) },
+		orCount:  func(a, b []uint64) int { return int(orCountNEON(a, b)) },
+	})
+}

@@ -1,0 +1,132 @@
+// NEON popcount reductions for arm64: VCNT counts bits per byte, a byte add
+// folds two vectors (max 16 per lane, no overflow), VUADDLV sums the lanes.
+// Main loop covers 4 words (32 bytes) per iteration; the tail runs one word
+// at a time through the same CNT path via an FMOV into the low half of V0.
+//
+// Register map: R0 = a ptr, R1 = remaining words, R2 = total, R3 = loop
+// counter, R4/R5 = scratch, R6 = b ptr (two-operand kernels).
+
+#include "textflag.h"
+
+// func popcntNEON(p []uint64) int64
+TEXT ·popcntNEON(SB), NOSPLIT, $0-32
+	MOVD p_base+0(FP), R0
+	MOVD p_len+8(FP), R1
+	MOVD ZR, R2
+	LSR  $2, R1, R3
+	CBZ  R3, tail
+
+loop:
+	VLD1.P  32(R0), [V0.B16, V1.B16]
+	VCNT    V0.B16, V0.B16
+	VCNT    V1.B16, V1.B16
+	VADD    V1.B16, V0.B16, V0.B16
+	VUADDLV V0.B16, V2
+	VMOV    V2.H[0], R4
+	ADD     R4, R2, R2
+	SUB     $1, R3, R3
+	CBNZ    R3, loop
+
+tail:
+	AND  $3, R1, R1
+	CBZ  R1, done
+
+tailloop:
+	MOVD.P  8(R0), R4
+	FMOVD   R4, F0
+	VCNT    V0.B8, V0.B8
+	VUADDLV V0.B8, V0
+	VMOV    V0.H[0], R4
+	ADD     R4, R2, R2
+	SUB     $1, R1, R1
+	CBNZ    R1, tailloop
+
+done:
+	MOVD R2, ret+24(FP)
+	RET
+
+// func andCountNEON(a, b []uint64) int64
+TEXT ·andCountNEON(SB), NOSPLIT, $0-56
+	MOVD a_base+0(FP), R0
+	MOVD b_base+24(FP), R6
+	MOVD a_len+8(FP), R1
+	MOVD ZR, R2
+	LSR  $2, R1, R3
+	CBZ  R3, tail
+
+loop:
+	VLD1.P  32(R0), [V0.B16, V1.B16]
+	VLD1.P  32(R6), [V2.B16, V3.B16]
+	VAND    V2.B16, V0.B16, V0.B16
+	VAND    V3.B16, V1.B16, V1.B16
+	VCNT    V0.B16, V0.B16
+	VCNT    V1.B16, V1.B16
+	VADD    V1.B16, V0.B16, V0.B16
+	VUADDLV V0.B16, V2
+	VMOV    V2.H[0], R4
+	ADD     R4, R2, R2
+	SUB     $1, R3, R3
+	CBNZ    R3, loop
+
+tail:
+	AND  $3, R1, R1
+	CBZ  R1, done
+
+tailloop:
+	MOVD.P  8(R0), R4
+	MOVD.P  8(R6), R5
+	AND     R5, R4, R4
+	FMOVD   R4, F0
+	VCNT    V0.B8, V0.B8
+	VUADDLV V0.B8, V0
+	VMOV    V0.H[0], R4
+	ADD     R4, R2, R2
+	SUB     $1, R1, R1
+	CBNZ    R1, tailloop
+
+done:
+	MOVD R2, ret+48(FP)
+	RET
+
+// func orCountNEON(a, b []uint64) int64
+TEXT ·orCountNEON(SB), NOSPLIT, $0-56
+	MOVD a_base+0(FP), R0
+	MOVD b_base+24(FP), R6
+	MOVD a_len+8(FP), R1
+	MOVD ZR, R2
+	LSR  $2, R1, R3
+	CBZ  R3, tail
+
+loop:
+	VLD1.P  32(R0), [V0.B16, V1.B16]
+	VLD1.P  32(R6), [V2.B16, V3.B16]
+	VORR    V2.B16, V0.B16, V0.B16
+	VORR    V3.B16, V1.B16, V1.B16
+	VCNT    V0.B16, V0.B16
+	VCNT    V1.B16, V1.B16
+	VADD    V1.B16, V0.B16, V0.B16
+	VUADDLV V0.B16, V2
+	VMOV    V2.H[0], R4
+	ADD     R4, R2, R2
+	SUB     $1, R3, R3
+	CBNZ    R3, loop
+
+tail:
+	AND  $3, R1, R1
+	CBZ  R1, done
+
+tailloop:
+	MOVD.P  8(R0), R4
+	MOVD.P  8(R6), R5
+	ORR     R5, R4, R4
+	FMOVD   R4, F0
+	VCNT    V0.B8, V0.B8
+	VUADDLV V0.B8, V0
+	VMOV    V0.H[0], R4
+	ADD     R4, R2, R2
+	SUB     $1, R1, R1
+	CBNZ    R1, tailloop
+
+done:
+	MOVD R2, ret+48(FP)
+	RET

@@ -140,11 +140,7 @@ func (s *Tensor) Set(t, n, d int, v bool) {
 
 // Count returns the total number of spikes in the tensor.
 func (s *Tensor) Count() int {
-	var c int
-	for _, w := range s.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
+	return countWords(s.words)
 }
 
 // Density returns the fraction of set bits in [0,1].
@@ -171,11 +167,7 @@ func (s *Tensor) Zero() {
 func (s *Tensor) CountToken(t, n int) int {
 	s.checkRow(t, n)
 	i := s.rowStart(t, n)
-	var c int
-	for _, w := range s.words[i : i+s.wpr] {
-		c += bits.OnesCount64(w)
-	}
-	return c
+	return countWords(s.words[i : i+s.wpr])
 }
 
 // CountFeature returns the number of spikes on feature d across all tokens
@@ -262,22 +254,14 @@ func (s *Tensor) ForEachSet(fn func(t, n, d int)) {
 // data is exactly a windowed AndCount). Shapes must match.
 func (s *Tensor) AndCount(o *Tensor) int {
 	s.mustSameShape(o)
-	var c int
-	for i, w := range s.words {
-		c += bits.OnesCount64(w & o.words[i])
-	}
-	return c
+	return andCountWords(s.words, o.words)
 }
 
 // OrCount returns the number of positions where either tensor spikes.
 // Shapes must match.
 func (s *Tensor) OrCount(o *Tensor) int {
 	s.mustSameShape(o)
-	var c int
-	for i, w := range s.words {
-		c += bits.OnesCount64(w | o.words[i])
-	}
-	return c
+	return orCountWords(s.words, o.words)
 }
 
 // TokenAndCount returns the overlap between token row (t, n) of s and token
@@ -289,13 +273,9 @@ func (s *Tensor) TokenAndCount(t, n int, o *Tensor, ot, on int) int {
 	}
 	s.checkRow(t, n)
 	o.checkRow(ot, on)
-	a := s.words[s.rowStart(t, n):]
-	b := o.words[o.rowStart(ot, on):]
-	var c int
-	for i := 0; i < s.wpr; i++ {
-		c += bits.OnesCount64(a[i] & b[i])
-	}
-	return c
+	a := s.words[s.rowStart(t, n):][:s.wpr]
+	b := o.words[o.rowStart(ot, on):][:s.wpr]
+	return andCountWords(a, b)
 }
 
 func (s *Tensor) mustSameShape(o *Tensor) {
@@ -360,7 +340,22 @@ func (s *Tensor) SetTimeSlice(t int, src []float32) {
 // Rate returns the mean firing rate per (token, feature) pair averaged over
 // time, as an N×D row-major slice. Used by the rate-decoding classifier head.
 func (s *Tensor) Rate() []float32 {
-	out := make([]float32, s.N*s.D)
+	return s.RateInto(make([]float32, s.N*s.D))
+}
+
+// RateInto writes the mean firing rate per (token, feature) pair into dst,
+// which must have length N·D, and returns it. It is the zero-alloc form of
+// Rate for callers that hold a reusable buffer. Rate is a scatter, not a
+// popcount, so it stays on the TrailingZeros64 scan regardless of the
+// dispatched kernel set.
+func (s *Tensor) RateInto(dst []float32) []float32 {
+	if len(dst) != s.N*s.D {
+		panic(fmt.Sprintf("spike: RateInto dst len %d want %d", len(dst), s.N*s.D))
+	}
+	out := dst
+	for i := range out {
+		out[i] = 0
+	}
 	inv := 1 / float32(s.T)
 	i := 0
 	for t := 0; t < s.T; t++ {

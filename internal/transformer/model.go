@@ -42,6 +42,13 @@ type block struct {
 	// N×dh head-column copies and N×N transpose/score-gradient buffers.
 	// Indexed via scratchMat; reallocated only on shape change.
 	scratch []*tensor.Mat
+	// pooled per-step buffers reused across forward/backward calls: float
+	// views of the Q/K/V spikes, the concatenated attention outputs, and the
+	// backward gradient accumulators. The sMaps matrices above are pooled the
+	// same way (MatMulT fully overwrites them each forward).
+	qf, kf, vf    []*tensor.Mat
+	ycat          []*tensor.Mat
+	gQf, gKf, gVf []*tensor.Mat
 }
 
 // scratchMat returns pooled matrix #i with the given shape. Every consumer
@@ -57,6 +64,28 @@ func (b *block) scratchMat(i, rows, cols int) *tensor.Mat {
 		b.scratch[i] = m
 	}
 	return m
+}
+
+// matPool resizes *p to T matrices of the given shape, reusing same-shape
+// entries across calls. When zero is set the reused matrices are cleared —
+// required for accumulator buffers (addHeadCols adds into them); pure
+// overwrite targets skip the clear.
+func matPool(p *[]*tensor.Mat, T, rows, cols int, zero bool) []*tensor.Mat {
+	s := *p
+	if cap(s) < T {
+		s = append(s[:cap(s)], make([]*tensor.Mat, T-cap(s))...)
+	}
+	s = s[:T]
+	for t := range s {
+		m := s[t]
+		if m == nil || m.Rows != rows || m.Cols != cols {
+			s[t] = tensor.NewMat(rows, cols)
+		} else if zero {
+			m.Zero()
+		}
+	}
+	*p = s
+	return s
 }
 
 func newBlock(idx int, cfg Config, rng *tensor.RNG) *block {
@@ -93,13 +122,6 @@ func (b *block) params() []*snn.Param {
 		ps = append(ps, a.Params()...)
 	}
 	return ps
-}
-
-// headCols copies head h's columns of m into an N×dh matrix.
-func headCols(m *tensor.Mat, h, dh int) *tensor.Mat {
-	out := tensor.NewMat(m.Rows, dh)
-	headColsInto(out, m, h, dh)
-	return out
 }
 
 // headColsInto copies head h's columns of m into dst (N×dh), reusing the
@@ -168,33 +190,31 @@ func (b *block) forward(xs *spike.Tensor, prune PruneFn) *spike.Tensor {
 		b.qKeep, b.kKeep = prune(b.q, b.k)
 	}
 
-	qf := snn.SpikesToMats(b.q)
-	kf := snn.SpikesToMats(b.k)
-	vf := snn.SpikesToMats(b.v)
-	applyKeepMask(qf, b.qKeep)
-	applyKeepMask(kf, b.kKeep)
+	b.qf = snn.SpikesToMatsInto(b.qf, b.q)
+	b.kf = snn.SpikesToMatsInto(b.kf, b.k)
+	b.vf = snn.SpikesToMatsInto(b.vf, b.v)
+	applyKeepMask(b.qf, b.qKeep)
+	applyKeepMask(b.kf, b.kKeep)
 
 	// ATN: per-head S = Q·Kᵀ·s, Y = S·V (Eq. 6).
 	dh := cfg.HeadDim()
-	b.sMaps = make([][]*tensor.Mat, cfg.Heads)
-	ycat := make([]*tensor.Mat, cfg.T)
-	for t := 0; t < cfg.T; t++ {
-		ycat[t] = tensor.NewMat(cfg.N, cfg.D)
+	if len(b.sMaps) != cfg.Heads {
+		b.sMaps = make([][]*tensor.Mat, cfg.Heads)
 	}
+	ycat := matPool(&b.ycat, cfg.T, cfg.N, cfg.D, true)
 	qh := b.scratchMat(0, cfg.N, dh)
 	kh := b.scratchMat(1, cfg.N, dh)
 	vh := b.scratchMat(2, cfg.N, dh)
 	y := b.scratchMat(3, cfg.N, dh)
 	for h := 0; h < cfg.Heads; h++ {
-		b.sMaps[h] = make([]*tensor.Mat, cfg.T)
+		matPool(&b.sMaps[h], cfg.T, cfg.N, cfg.N, false)
 		for t := 0; t < cfg.T; t++ {
-			headColsInto(qh, qf[t], h, dh)
-			headColsInto(kh, kf[t], h, dh)
-			headColsInto(vh, vf[t], h, dh)
-			s := tensor.NewMat(cfg.N, cfg.N)
+			headColsInto(qh, b.qf[t], h, dh)
+			headColsInto(kh, b.kf[t], h, dh)
+			headColsInto(vh, b.vf[t], h, dh)
+			s := b.sMaps[h][t]
 			tensor.MatMulT(s, qh, kh)
 			s.ScaleInPlace(b.scale)
-			b.sMaps[h][t] = s
 			tensor.MatMul(y, s, vh)
 			addHeadCols(ycat[t], y, h, dh)
 		}
@@ -206,22 +226,19 @@ func (b *block) forward(xs *spike.Tensor, prune PruneFn) *spike.Tensor {
 	ocur := b.wo.ForwardSpikes(b.otemp)
 
 	// Residual 1: attention output + block input, in the current domain.
-	r1cur := make([]*tensor.Mat, cfg.T)
-	for t := range r1cur {
-		r1cur[t] = ocur[t] // wo's output is owned here; no clone needed
-		addSpikes(r1cur[t], xs, t)
+	// wo's pooled output is owned until its next call; add in place.
+	for t := range ocur {
+		addSpikes(ocur[t], xs, t)
 	}
-	b.r1 = b.lifR1.Forward(b.nR1.Forward(r1cur))
+	b.r1 = b.lifR1.Forward(b.nR1.Forward(ocur))
 
 	// MLP block with residual 2.
 	b.m1 = b.lifM1.Forward(b.nM1.Forward(b.w1.ForwardSpikes(b.r1)))
 	m2cur := b.w2.ForwardSpikes(b.m1)
-	r2cur := make([]*tensor.Mat, cfg.T)
-	for t := range r2cur {
-		r2cur[t] = m2cur[t]
-		addSpikes(r2cur[t], b.r1, t)
+	for t := range m2cur {
+		addSpikes(m2cur[t], b.r1, t)
 	}
-	b.r2 = b.lifR2.Forward(b.nR2.Forward(r2cur))
+	b.r2 = b.lifR2.Forward(b.nR2.Forward(m2cur))
 	return b.r2
 }
 
@@ -258,19 +275,15 @@ func (b *block) backward(gradOut []*tensor.Mat, bsa *BSAConfig) []*tensor.Mat {
 	gYcat := b.nO.Backward(b.lifO.Backward(gOtempF))
 
 	// Attention: dV = Sᵀ·dY, dS = dY·Vᵀ, dQ = s·dS·K, dK = s·dSᵀ·Q.
-	qf := snn.SpikesToMats(b.q)
-	kf := snn.SpikesToMats(b.k)
-	vf := snn.SpikesToMats(b.v)
+	b.qf = snn.SpikesToMatsInto(b.qf, b.q)
+	b.kf = snn.SpikesToMatsInto(b.kf, b.k)
+	b.vf = snn.SpikesToMatsInto(b.vf, b.v)
+	qf, kf, vf := b.qf, b.kf, b.vf
 	applyKeepMask(qf, b.qKeep)
 	applyKeepMask(kf, b.kKeep)
-	gQf := make([]*tensor.Mat, cfg.T)
-	gKf := make([]*tensor.Mat, cfg.T)
-	gVf := make([]*tensor.Mat, cfg.T)
-	for t := 0; t < cfg.T; t++ {
-		gQf[t] = tensor.NewMat(cfg.N, cfg.D)
-		gKf[t] = tensor.NewMat(cfg.N, cfg.D)
-		gVf[t] = tensor.NewMat(cfg.N, cfg.D)
-	}
+	gQf := matPool(&b.gQf, cfg.T, cfg.N, cfg.D, true)
+	gKf := matPool(&b.gKf, cfg.T, cfg.N, cfg.D, true)
+	gVf := matPool(&b.gVf, cfg.T, cfg.N, cfg.D, true)
 	// Scratch layout: indices 0–3 are the forward pools (reused here where
 	// shapes allow), 4+ are backward-only. sT holds Sᵀ so the transposed
 	// products run through the register-blocked MatMul with one reusable
@@ -363,6 +376,7 @@ type Model struct {
 	// forward caches
 	finalSpikes *spike.Tensor
 	rate        *tensor.Mat
+	rateND      []float32
 	trace       *Trace
 }
 
@@ -441,8 +455,15 @@ func (m *Model) ForwardSteps(xs []*tensor.Mat) *tensor.Mat {
 	m.finalSpikes = s
 
 	// Global average pooling over all tokens and time points (Fig. 2).
-	rateND := s.Rate()
-	m.rate = tensor.NewMat(1, cfg.D)
+	if cap(m.rateND) < cfg.N*cfg.D {
+		m.rateND = make([]float32, cfg.N*cfg.D)
+	}
+	rateND := s.RateInto(m.rateND[:cfg.N*cfg.D])
+	if m.rate == nil || m.rate.Cols != cfg.D {
+		m.rate = tensor.NewMat(1, cfg.D)
+	} else {
+		m.rate.Zero()
+	}
 	for n := 0; n < cfg.N; n++ {
 		for d := 0; d < cfg.D; d++ {
 			m.rate.Data[d] += rateND[n*cfg.D+d] / float32(cfg.N)
@@ -488,7 +509,9 @@ func (m *Model) Trace() *Trace { return m.trace }
 
 // AttentionScores returns the attention maps of the given block from the
 // most recent forward pass, indexed [head][time] as N×N score matrices
-// (post-scale). Used by the Fig. 8 attention-focus analysis.
+// (post-scale). The matrices are pooled: they stay valid until the next
+// forward pass, so callers keeping scores across passes must copy them.
+// Used by the Fig. 8 attention-focus analysis.
 func (m *Model) AttentionScores(block int) [][]*tensor.Mat {
 	return m.blocks[block].sMaps
 }

@@ -282,3 +282,30 @@ func TestTinyShrinks(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestForwardPooledReuse pins that the pooled per-forward buffers (score
+// maps, Q/K/V float views, attention accumulators, the rate buffer) make
+// repeated passes on one model instance bit-identical to a fresh model —
+// including with an interleaved backward pass, which shares the same pools.
+func TestForwardPooledReuse(t *testing.T) {
+	x := tensor.NewMat(8, 12)
+	tensor.NewRNG(3).FillNormal(x, 1)
+	want := newTestModel(7).Forward(x)
+
+	m := newTestModel(7)
+	first := m.Forward(x)
+	for i := range want.Data {
+		if first.Data[i] != want.Data[i] {
+			t.Fatal("first pass differs from fresh model")
+		}
+	}
+	dl := tensor.NewMat(1, 5)
+	dl.Fill(0.1)
+	m.Backward(dl) // runs through the pooled gradient accumulators
+	second := m.Forward(x)
+	for i := range want.Data {
+		if second.Data[i] != want.Data[i] {
+			t.Fatal("pass after backward differs: pooled buffers leak state")
+		}
+	}
+}
